@@ -1,0 +1,56 @@
+"""Shared machinery for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+real computation under ``pytest-benchmark`` (one timed round — the
+workloads are deterministic) and emits the paper-style table both to
+stdout and to ``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+
+from repro.core import make_store
+from repro.graph import datasets
+from repro.graph.graph import Graph
+from repro.graph.ordering import apply_ordering
+from repro.memory import edge_iterator
+from repro.memory.base import TriangulationResult
+from repro.sim import CostModel
+from repro.storage.layout import GraphStore
+
+#: All benchmarks run on 1 KiB pages: the stand-in graphs are ~1/1000 the
+#: paper's, so smaller pages keep the page count (and hence the buffer
+#: granularity) comparable to the original experiments.
+PAGE_SIZE = 1024
+
+#: One cost model for the whole suite (see repro.sim.costmodel for the
+#: calibration rationale).
+COST = CostModel()
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(name: str, text: str) -> None:
+    """Print a reproduction table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"\n{'=' * 72}\n{text}\n{'=' * 72}"
+    print(banner)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+@lru_cache(maxsize=None)
+def prepared(name: str) -> tuple[Graph, GraphStore, TriangulationResult]:
+    """Degree-ordered dataset stand-in, its page store, and the in-memory
+    EdgeIterator≻ reference result (the ideal method's CPU cost)."""
+    graph, _ = apply_ordering(datasets.load(name), "degree")
+    store = make_store(graph, PAGE_SIZE)
+    reference = edge_iterator(graph)
+    return graph, store, reference
+
+
+def once(benchmark, func, *args, **kwargs):
+    """Run *func* exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

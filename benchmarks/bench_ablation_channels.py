@@ -1,0 +1,57 @@
+"""Ablation — FlashSSD internal parallelism (channels / queue depth).
+
+The micro-level overlap hides external I/O behind external CPU only when
+the device can serve requests fast enough; the paper's "full parallelism
+of FlashSSD I/O" is this effect.  Replaying one trace under different
+channel counts isolates it: with one channel the external phase turns
+I/O-bound, from ~4-8 channels onward the run is CPU-bound and more
+channels stop mattering.
+"""
+
+from __future__ import annotations
+
+from _helpers import COST, once, prepared, report
+from repro.core import triangulate_disk
+from repro.sim import simulate
+from repro.util.tables import format_table
+
+CHANNELS = [1, 2, 4, 8, 16]
+
+
+def sweep():
+    _graph, store, _reference = prepared("TWITTER")
+    base = triangulate_disk(store, buffer_ratio=0.15, cost=COST, cores=1)
+    trace = base.extra["trace"]
+    rows = {}
+    for channels in CHANNELS:
+        cost = COST.with_(channels=channels)
+        serial = simulate(trace, cost, cores=1, serial=True)
+        six = simulate(trace, cost, cores=6, morphing=True)
+        rows[channels] = (serial.elapsed, six.elapsed)
+    return rows
+
+
+def test_ablation_channels(benchmark):
+    results = once(benchmark, sweep)
+    rows = [
+        (channels, f"{serial * 1e3:.1f}", f"{six * 1e3:.1f}",
+         f"{serial / six:.2f}")
+        for channels, (serial, six) in results.items()
+    ]
+    report(
+        "ablation_channels",
+        format_table(
+            ["channels", "OPT_serial (ms)", "OPT 6-core (ms)", "speed-up"],
+            rows,
+            title="Ablation: Flash channel parallelism on TWITTER "
+                  "(micro overlap needs device parallelism)",
+        ),
+    )
+    serial_times = [results[c][0] for c in CHANNELS]
+    # More channels never hurt and help most at the low end.
+    assert all(b <= a * 1.001 for a, b in zip(serial_times, serial_times[1:]))
+    assert serial_times[0] > 1.15 * serial_times[2]
+    # Diminishing returns: 8 -> 16 changes little.
+    assert results[8][0] < results[16][0] * 1.10
+    # Multi-core scaling depends on the device keeping up.
+    assert results[8][0] / results[8][1] > results[1][0] / results[1][1]

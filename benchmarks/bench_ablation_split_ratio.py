@@ -1,0 +1,56 @@
+"""Ablation — internal/external buffer split.
+
+The paper fixes ``m_in = m_ex = m/2`` "to maximize the buffering effect
+of Line 3 of Algorithm 4".  This ablation sweeps the split: a larger
+internal area means fewer iterations but a smaller external window (less
+Δin buffering and less read-ahead); a smaller internal area inverts the
+trade.  The even split should sit at or near the minimum.
+"""
+
+from __future__ import annotations
+
+from _helpers import COST, once, prepared, report
+from repro.core import OPTConfig, buffer_pages_for_ratio, run_opt
+from repro.core.plugins import EdgeIteratorPlugin
+from repro.sim import simulate
+from repro.util.tables import format_table
+
+DATASET_NAMES = ["TWITTER", "UK"]
+INTERNAL_FRACTIONS = [0.2, 0.35, 0.5, 0.65, 0.8]
+
+
+def sweep(name: str) -> dict[float, tuple[float, int]]:
+    _graph, store, _reference = prepared(name)
+    total = buffer_pages_for_ratio(store, 0.15)
+    results = {}
+    for fraction in INTERNAL_FRACTIONS:
+        m_in = max(1, int(round(total * fraction)))
+        m_ex = max(1, total - m_in)
+        config = OPTConfig(m_in=m_in, m_ex=m_ex, plugin=EdgeIteratorPlugin())
+        trace = run_opt(store, config)
+        sim = simulate(trace, COST, cores=1, serial=True)
+        results[fraction] = (sim.elapsed, trace.total_fill_buffered)
+    return results
+
+
+def test_ablation_split_ratio(benchmark):
+    results = once(benchmark, lambda: {n: sweep(n) for n in DATASET_NAMES})
+    rows = []
+    for name in DATASET_NAMES:
+        for fraction, (elapsed, buffered) in results[name].items():
+            rows.append((name, f"{fraction:.2f}", f"{elapsed * 1e3:.1f}",
+                         buffered))
+    report(
+        "ablation_split_ratio",
+        format_table(
+            ["dataset", "m_in fraction", "elapsed (ms)", "Δin pages"],
+            rows,
+            title="Ablation: internal/external area split at a fixed 15% "
+                  "budget (paper picks the even split)",
+        ),
+    )
+    for name in DATASET_NAMES:
+        by_fraction = {f: e for f, (e, _) in results[name].items()}
+        best = min(by_fraction.values())
+        # The even split must be within 10% of the best configuration.
+        assert by_fraction[0.5] <= best * 1.10, name

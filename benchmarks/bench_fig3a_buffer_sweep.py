@@ -1,0 +1,17 @@
+"""Figure 3a — OPT_serial relative elapsed time vs buffer size (5-25%).
+
+Thin timing wrapper: the experiment logic (and its qualitative-claim
+assertions) lives in :mod:`repro.experiments`; running it here regenerates
+``benchmarks/results/fig3a_buffer_sweep.txt``.
+"""
+
+from __future__ import annotations
+
+from _helpers import once, report
+from repro.experiments import run_experiment
+
+
+def test_fig3a_buffer_sweep(benchmark):
+    result = once(benchmark, run_experiment, "fig3a")
+    report("fig3a_buffer_sweep", result.text)
+    assert result.checks  # every claim verified inside the experiment

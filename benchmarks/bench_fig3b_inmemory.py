@@ -1,0 +1,17 @@
+"""Figure 3b — OPT_serial against the in-memory methods.
+
+Thin timing wrapper: the experiment logic (and its qualitative-claim
+assertions) lives in :mod:`repro.experiments`; running it here regenerates
+``benchmarks/results/fig3b_inmemory.txt``.
+"""
+
+from __future__ import annotations
+
+from _helpers import once, report
+from repro.experiments import run_experiment
+
+
+def test_fig3b_inmemory_comparison(benchmark):
+    result = once(benchmark, run_experiment, "fig3b")
+    report("fig3b_inmemory", result.text)
+    assert result.checks  # every claim verified inside the experiment

@@ -1,0 +1,17 @@
+"""Figure 4 — the thread-morphing effect (UK, 2 cores, 15% buffer).
+
+Thin timing wrapper: the experiment logic (and its qualitative-claim
+assertions) lives in :mod:`repro.experiments`; running it here regenerates
+``benchmarks/results/fig4_thread_morphing.txt``.
+"""
+
+from __future__ import annotations
+
+from _helpers import once, report
+from repro.experiments import run_experiment
+
+
+def test_fig4_thread_morphing(benchmark):
+    result = once(benchmark, run_experiment, "fig4")
+    report("fig4_thread_morphing", result.text)
+    assert result.checks  # every claim verified inside the experiment

@@ -1,0 +1,16 @@
+"""Figure 5 — effect of memory buffer size on the five serial methods.
+
+Thin timing wrapper around :mod:`repro.experiments` (fast group flat and
+always ahead; slow group 2-10x slower and buffer-sensitive).
+"""
+
+from __future__ import annotations
+
+from _helpers import once, report
+from repro.experiments import run_experiment
+
+
+def test_fig5_buffer_effect(benchmark):
+    result = once(benchmark, run_experiment, "fig5")
+    report("fig5_buffer_effect", result.text)
+    assert result.checks

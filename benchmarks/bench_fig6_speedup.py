@@ -1,0 +1,17 @@
+"""Figure 6 and Table 5 — speed-up vs number of CPU cores.
+
+Thin timing wrapper around :mod:`repro.experiments`: OPT scales
+near-linearly under its Amdahl bound; GraphChi-Tri saturates below 2.5.
+"""
+
+from __future__ import annotations
+
+from _helpers import once, report
+from repro.experiments import run_experiment
+
+
+def test_fig6_table5_speedup(benchmark):
+    result = once(benchmark, run_experiment, "fig6")
+    report("fig6_speedup", result.text)
+    report("table5_amdahl", result.data["table5_text"])
+    assert result.checks

@@ -1,0 +1,17 @@
+"""Figure 7a — R-MAT sweep over the number of vertices at density 16.
+
+Thin timing wrapper: the experiment logic (and its qualitative-claim
+assertions) lives in :mod:`repro.experiments`; running it here regenerates
+``benchmarks/results/fig7a_vertices.txt``.
+"""
+
+from __future__ import annotations
+
+from _helpers import once, report
+from repro.experiments import run_experiment
+
+
+def test_fig7a_vertex_sweep(benchmark):
+    result = once(benchmark, run_experiment, "fig7a")
+    report("fig7a_vertices", result.text)
+    assert result.checks  # every claim verified inside the experiment

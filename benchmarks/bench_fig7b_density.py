@@ -1,0 +1,17 @@
+"""Figure 7b — R-MAT sweep over graph density at fixed |V|.
+
+Thin timing wrapper: the experiment logic (and its qualitative-claim
+assertions) lives in :mod:`repro.experiments`; running it here regenerates
+``benchmarks/results/fig7b_density.txt``.
+"""
+
+from __future__ import annotations
+
+from _helpers import once, report
+from repro.experiments import run_experiment
+
+
+def test_fig7b_density_sweep(benchmark):
+    result = once(benchmark, run_experiment, "fig7b")
+    report("fig7b_density", result.text)
+    assert result.checks  # every claim verified inside the experiment

@@ -1,0 +1,17 @@
+"""Figure 7c — clustering-coefficient sweep (Holme-Kim model).
+
+Thin timing wrapper: the experiment logic (and its qualitative-claim
+assertions) lives in :mod:`repro.experiments`; running it here regenerates
+``benchmarks/results/fig7c_clustering.txt``.
+"""
+
+from __future__ import annotations
+
+from _helpers import once, report
+from repro.experiments import run_experiment
+
+
+def test_fig7c_clustering_sweep(benchmark):
+    result = once(benchmark, run_experiment, "fig7c")
+    report("fig7c_clustering", result.text)
+    assert result.checks  # every claim verified inside the experiment

@@ -1,0 +1,17 @@
+"""Table 2 — basic statistics on the datasets (stand-ins vs paper).
+
+Thin timing wrapper: the experiment logic (and its qualitative-claim
+assertions) lives in :mod:`repro.experiments`; running it here regenerates
+``benchmarks/results/table2_datasets.txt``.
+"""
+
+from __future__ import annotations
+
+from _helpers import once, report
+from repro.experiments import run_experiment
+
+
+def test_table2_dataset_statistics(benchmark):
+    result = once(benchmark, run_experiment, "table2")
+    report("table2_datasets", result.text)
+    assert result.checks  # every claim verified inside the experiment

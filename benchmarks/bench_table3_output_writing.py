@@ -1,0 +1,17 @@
+"""Table 3 — output writing times: OPT_serial < MGT < CC-Seq.
+
+Thin timing wrapper: the experiment logic (and its qualitative-claim
+assertions) lives in :mod:`repro.experiments`; running it here regenerates
+``benchmarks/results/table3_output_writing.txt``.
+"""
+
+from __future__ import annotations
+
+from _helpers import once, report
+from repro.experiments import run_experiment
+
+
+def test_table3_output_writing(benchmark):
+    result = once(benchmark, run_experiment, "table3")
+    report("table3_output_writing", result.text)
+    assert result.checks  # every claim verified inside the experiment

@@ -1,0 +1,17 @@
+"""Table 6 — triangulation on the billion-vertex YAHOO stand-in.
+
+Thin timing wrapper: the experiment logic (and its qualitative-claim
+assertions) lives in :mod:`repro.experiments`; running it here regenerates
+``benchmarks/results/table6_billion.txt``.
+"""
+
+from __future__ import annotations
+
+from _helpers import once, report
+from repro.experiments import run_experiment
+
+
+def test_table6_billion_vertex(benchmark):
+    result = once(benchmark, run_experiment, "table6")
+    report("table6_billion", result.text)
+    assert result.checks  # every claim verified inside the experiment

@@ -1,0 +1,17 @@
+"""Table 7 — OPT (one node) against the distributed methods (31 nodes).
+
+Thin timing wrapper: the experiment logic (and its qualitative-claim
+assertions) lives in :mod:`repro.experiments`; running it here regenerates
+``benchmarks/results/table7_distributed.txt``.
+"""
+
+from __future__ import annotations
+
+from _helpers import once, report
+from repro.experiments import run_experiment
+
+
+def test_table7_distributed(benchmark):
+    result = once(benchmark, run_experiment, "table7")
+    report("table7_distributed", result.text)
+    assert result.checks  # every claim verified inside the experiment

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Out-of-core triangulation of a web-scale graph under a tiny buffer.
+
+Demonstrates the scenario the paper targets: the graph does not fit in
+memory (here: a buffer of only 5% of the graph's pages), so internal and
+external triangles must be separated, external candidate pages streamed
+through the external area, and the nested triangle output written to a
+second device.  Compares OPT against MGT and CC-Seq under the same
+budget and shows where OPT's advantage comes from (read volume and
+overlap).
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.baselines import cc_seq, mgt
+from repro.core import (
+    NestedOutputWriter,
+    buffer_pages_for_ratio,
+    make_store,
+    triangulate_disk,
+)
+from repro.graph import datasets
+from repro.graph.ordering import apply_ordering
+from repro.sim import CostModel
+
+PAGE_SIZE = 1024
+BUFFER_RATIO = 0.05
+
+
+def main() -> None:
+    graph, _ = apply_ordering(datasets.load("UK"), "degree")
+    store = make_store(graph, PAGE_SIZE)
+    cost = CostModel()
+    budget = buffer_pages_for_ratio(store, BUFFER_RATIO)
+    print(f"UK web-graph stand-in: {graph.num_vertices:,} vertices, "
+          f"{graph.num_edges:,} edges, {store.num_pages} pages on disk")
+    print(f"memory budget: {budget} pages ({BUFFER_RATIO:.0%} of the graph)\n")
+
+    with tempfile.TemporaryDirectory() as directory:
+        output_path = Path(directory) / "triangles.nested"
+        writer = NestedOutputWriter(output_path, page_size=PAGE_SIZE)
+        opt = triangulate_disk(store, buffer_pages=budget, cost=cost,
+                               cores=1, sink=writer)
+        writer.close()
+        print(f"OPT_serial: {opt.triangles:,} triangles in "
+              f"{opt.iterations} iterations")
+        print(f"  device reads:   {opt.pages_read:,} pages")
+        print(f"  buffered (Δin): {opt.pages_buffered:,} pages saved")
+        print(f"  output:         {writer.groups:,} nested groups, "
+              f"{writer.bytes_written / 1024:.1f} KiB "
+              f"-> {output_path.name}")
+        print(f"  simulated time: {opt.elapsed * 1e3:.1f} ms")
+
+    mgt_result = mgt(store, buffer_pages=budget, page_size=PAGE_SIZE, cost=cost)
+    print(f"\nMGT (same budget): {mgt_result.pages_read:,} pages read "
+          f"({mgt_result.pages_read / max(opt.pages_read, 1):.1f}x OPT), "
+          f"{mgt_result.elapsed * 1e3:.1f} ms "
+          f"({mgt_result.elapsed / opt.elapsed:.2f}x OPT)")
+
+    cc = cc_seq(graph, buffer_pages=budget, page_size=PAGE_SIZE, cost=cost)
+    print(f"CC-Seq (same budget): {cc.pages_read:,} read + "
+          f"{cc.pages_written:,} written pages, "
+          f"{cc.elapsed * 1e3:.1f} ms ({cc.elapsed / opt.elapsed:.2f}x OPT)")
+
+    assert opt.triangles == mgt_result.triangles == cc.triangles
+    print("\nAll methods agree on the triangle count; "
+          "OPT wins on read volume and overlap.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Reproduce any of the paper's experiments programmatically.
+
+The whole evaluation is exposed as a library (``repro.experiments``):
+each experiment runs the real computation, renders the paper-style table,
+and asserts its qualitative claims.  Pass experiment ids on the command
+line (default: the two quickest).
+
+    python examples/reproduce_experiment.py fig3a fig6
+    python examples/reproduce_experiment.py --all
+"""
+
+import sys
+import time
+
+from repro.experiments import experiment_names, run_experiment
+
+
+def main() -> None:
+    arguments = sys.argv[1:]
+    if "--all" in arguments:
+        names = experiment_names()
+    elif arguments:
+        names = arguments
+    else:
+        names = ["table2", "fig4"]
+
+    for name in names:
+        start = time.perf_counter()
+        result = run_experiment(name)
+        wall = time.perf_counter() - start
+        print(f"\n{result.text}")
+        print(f"\n  -> {len(result.checks)} qualitative claims verified "
+              f"in {wall:.1f}s:")
+        for claim in result.checks[:6]:
+            print(f"     * {claim}")
+        if len(result.checks) > 6:
+            print(f"     * ... and {len(result.checks) - 6} more")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Disk-based vertex-centric processing with Parallel Sliding Windows.
+
+The paper's main parallel competitor, GraphChi, executes arbitrary
+vertex-centric programs over sharded on-disk graphs.  This example runs
+the library's own PSW engine — shards sorted by source, one sliding
+window per interval, in-order asynchronous updates — on two classic
+programs, and shows the I/O profile that makes the model expensive for
+triangle-type workloads compared with OPT's single-purpose pipeline.
+"""
+
+from repro.core import make_store, triangulate_disk
+from repro.graph import datasets
+from repro.graph.ordering import apply_ordering
+from repro.sim import CostModel
+from repro.vcengine import ConnectedComponentsApp, DiskVCEngine, PageRankApp, ShardedGraph
+
+
+def main() -> None:
+    graph, _ = apply_ordering(datasets.load("LJ"), "degree")
+    cost = CostModel()
+    sharded = ShardedGraph.build(graph, num_intervals=6)
+    print(f"LiveJournal stand-in sharded into {sharded.num_intervals} "
+          f"execution intervals, {sharded.total_edges():,} directed edges")
+
+    engine = DiskVCEngine(sharded, page_size=1024, cost=cost)
+
+    # --- connected components -------------------------------------------
+    cc = engine.run(ConnectedComponentsApp())
+    labels = {int(v) for v in cc.values}
+    print(f"\nconnected components: {len(labels)} "
+          f"(in {cc.supersteps} supersteps)")
+
+    # --- PageRank ---------------------------------------------------------
+    pr = engine.run(PageRankApp(graph.degrees()), max_supersteps=100)
+    top = sorted(range(graph.num_vertices), key=lambda v: -pr.values[v])[:5]
+    print(f"PageRank converged in {pr.supersteps} supersteps; top vertices:")
+    for v in top:
+        print(f"  vertex {v:5d}: rank {pr.values[v]:.5f}, "
+              f"degree {graph.degree(v)}")
+
+    # --- the I/O story vs OPT ----------------------------------------------
+    psw_pages = sum(step.pages_read + step.shard_pages_written
+                    for step in pr.history)
+    store = make_store(graph, 1024)
+    opt = triangulate_disk(store, buffer_ratio=0.15, cost=cost)
+    print(f"\nI/O profile: PSW moved {psw_pages:,} pages over "
+          f"{pr.supersteps} PageRank supersteps "
+          f"(~{psw_pages // max(pr.supersteps, 1):,}/superstep, reads "
+          f"AND writes every pass);")
+    print(f"OPT's triangulation read {opt.pages_read:,} pages once, "
+          f"wrote none — the read-only 'fast group' property behind "
+          f"Figure 5.")
+
+
+if __name__ == "__main__":
+    main()

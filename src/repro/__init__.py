@@ -1,0 +1,39 @@
+"""OPT: Overlapped and Parallel Triangulation — SIGMOD 2014 reproduction.
+
+Public API quickstart::
+
+    from repro import datasets, triangulate_in_memory
+    graph = datasets.load("LJ")
+    result = triangulate_in_memory(graph)
+    print(result.triangles)
+
+The full framework lives in subpackages:
+
+* :mod:`repro.graph`   — CSR graphs, generators, orderings, metrics
+* :mod:`repro.storage` — slotted pages, buffer manager, Flash device models
+* :mod:`repro.memory`  — in-memory iterators (Algorithms 1 and 2)
+* :mod:`repro.core`    — the OPT framework (Algorithms 3-13)
+* :mod:`repro.baselines` / :mod:`repro.distributed` — comparison methods
+* :mod:`repro.sim`     — discrete-event CPU/SSD simulator
+* :mod:`repro.analysis` — Section 3.3 cost equations, Amdahl analysis
+"""
+
+from repro.graph import Graph, GraphBuilder, Ordering, apply_ordering, from_edges
+from repro.graph import datasets, generators
+from repro.memory import edge_iterator as triangulate_in_memory
+from repro.memory.base import TriangulationResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "Ordering",
+    "TriangulationResult",
+    "apply_ordering",
+    "datasets",
+    "from_edges",
+    "generators",
+    "triangulate_in_memory",
+    "__version__",
+]

@@ -1,0 +1,60 @@
+"""Amdahl's-law analysis (the paper's Table 5).
+
+The paper explains the two methods' different speed-ups by their parallel
+fractions: with ``c`` cores and parallel fraction ``p``, the speed-up is
+bounded by ``1 / ((1 - p) + p / c)``.  These helpers compute the bound,
+fit ``p`` from measured speed-ups, and assemble Table 5 rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SpeedupRow", "amdahl_bound", "fit_parallel_fraction"]
+
+
+def amdahl_bound(parallel_fraction: float, cores: int) -> float:
+    """Upper-bound speed-up ``ub^c`` for a given parallel fraction."""
+    if not 0.0 <= parallel_fraction <= 1.0:
+        raise ValueError("parallel fraction must be in [0, 1]")
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    return 1.0 / ((1.0 - parallel_fraction) + parallel_fraction / cores)
+
+
+def fit_parallel_fraction(speedup: float, cores: int) -> float:
+    """Invert Amdahl's law: the ``p`` that yields *speedup* on *cores*.
+
+    Clamped to [0, 1]; useful for estimating a method's parallel fraction
+    from a measured two-point speed-up.
+    """
+    if cores < 2:
+        raise ValueError("need at least 2 cores to fit p")
+    if speedup <= 0:
+        raise ValueError("speedup must be positive")
+    p = (1.0 - 1.0 / speedup) / (1.0 - 1.0 / cores)
+    return min(1.0, max(0.0, p))
+
+
+@dataclass(frozen=True)
+class SpeedupRow:
+    """One method/dataset row of the paper's Table 5."""
+
+    method: str
+    dataset: str
+    parallel_fraction: float
+    cores: int
+    empirical_speedup: float
+
+    @property
+    def upper_bound(self) -> float:
+        return amdahl_bound(self.parallel_fraction, self.cores)
+
+    def as_tuple(self) -> tuple[str, str, float, float, float]:
+        return (
+            self.method,
+            self.dataset,
+            self.parallel_fraction,
+            self.upper_bound,
+            self.empirical_speedup,
+        )

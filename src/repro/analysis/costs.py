@@ -1,0 +1,94 @@
+"""The paper's Section 3.3 cost equations, evaluated on measured traces.
+
+Provides the analytic counterparts to the simulated runs:
+
+* ``ideal_cost``            — Eq. 6: ``c * P(G) + Cost_CPU``;
+* ``opt_serial_cost``       — ``Cost_ideal + c * (Δex − Δin)``;
+* ``relative_elapsed_time`` — the Figure 3a measure (method / ideal);
+* ``mgt_io_bound``          — Eq. 7's ``(1 + ceil(P/m)) * c * P(G)``.
+
+All quantities are expressed in CPU-operation units, with ``c`` taken
+from a :class:`~repro.sim.costmodel.CostModel` so analytic and simulated
+numbers are directly comparable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sim.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.sim.trace import RunTrace
+
+__all__ = [
+    "CostBreakdown",
+    "ideal_cost",
+    "mgt_io_bound",
+    "opt_serial_cost",
+    "relative_elapsed_time",
+]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """One run's cost decomposition in CPU-operation units."""
+
+    io_ops: float
+    cpu_ops: float
+    delta_in_ops: float = 0.0
+    delta_ex_ops: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.io_ops + self.cpu_ops - self.delta_in_ops + self.delta_ex_ops
+
+
+def ideal_cost(
+    num_pages: int,
+    cpu_ops: int,
+    cost: CostModel = DEFAULT_COST_MODEL,
+) -> CostBreakdown:
+    """Eq. 6: the ideal method reads the graph once and pays pure CPU."""
+    return CostBreakdown(io_ops=cost.c_effective * num_pages, cpu_ops=float(cpu_ops))
+
+
+def opt_serial_cost(
+    trace: RunTrace,
+    cost: CostModel = DEFAULT_COST_MODEL,
+) -> CostBreakdown:
+    """Section 3.3: ``c(P(G) − Δin) + Cost_CPU + c·Δex`` from a real trace.
+
+    ``Δin`` is the measured buffered-fill saving.  ``Δex`` — the external
+    I/O that could not hide behind external CPU — is computed per
+    iteration as ``max(0, c·|L_i| − cpu_ex_i)``, the non-overlapped
+    remainder of the micro-level pipeline.
+    """
+    delta_ex = 0.0
+    for iteration in trace.iterations:
+        io = cost.c_effective * iteration.external_device_reads
+        delta_ex += max(0.0, io - iteration.external_ops)
+    return CostBreakdown(
+        io_ops=cost.c_effective * trace.num_pages,
+        cpu_ops=float(trace.total_ops),
+        delta_in_ops=cost.c_effective * trace.total_fill_buffered,
+        delta_ex_ops=delta_ex,
+    )
+
+
+def relative_elapsed_time(method_elapsed: float, ideal_elapsed: float) -> float:
+    """Figure 3a's measure: elapsed(method) / elapsed(ideal)."""
+    if ideal_elapsed <= 0:
+        raise ValueError("ideal elapsed time must be positive")
+    return method_elapsed / ideal_elapsed
+
+
+def mgt_io_bound(
+    num_pages: int,
+    buffer_pages: int,
+    cost: CostModel = DEFAULT_COST_MODEL,
+) -> float:
+    """Eq. 7's MGT I/O bound ``(1 + ceil(P/m)) * c * P(G)`` in op units."""
+    if buffer_pages < 1:
+        raise ValueError("buffer must hold at least one page")
+    iterations = math.ceil(num_pages / buffer_pages)
+    return (1 + iterations) * cost.c * num_pages

@@ -1,0 +1,63 @@
+"""Assemble the regenerated tables into one reproduction report.
+
+``build_report`` collects every ``benchmarks/results/*.txt`` artifact in
+experiment order and renders a single markdown document — a convenient
+artifact to diff across runs or attach to a reproduction writeup.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["EXPERIMENT_ORDER", "build_report"]
+
+#: Canonical experiment ordering (the paper's Section 5 order).
+EXPERIMENT_ORDER = [
+    "table2_datasets",
+    "table3_output_writing",
+    "fig3a_buffer_sweep",
+    "fig3b_inmemory",
+    "fig4_thread_morphing",
+    "fig5_buffer_effect",
+    "fig5_buffer_effect_twitter",
+    "fig5_buffer_effect_uk",
+    "table4_cores",
+    "fig6_speedup",
+    "table5_amdahl",
+    "table6_billion",
+    "fig7a_vertices",
+    "fig7b_density",
+    "fig7c_clustering",
+    "table7_distributed",
+]
+
+
+def build_report(results_dir: str | Path, output: str | Path | None = None) -> str:
+    """Render the markdown report; optionally write it to *output*.
+
+    Unknown result files are appended after the canonical ones so ad-hoc
+    experiments (ablations) are never dropped.
+    """
+    results_dir = Path(results_dir)
+    sections: list[str] = [
+        "# OPT reproduction report",
+        "",
+        "Regenerated tables and figures (see EXPERIMENTS.md for the "
+        "paper-vs-measured analysis).",
+    ]
+    seen: set[str] = set()
+    names = [n for n in EXPERIMENT_ORDER
+             if (results_dir / f"{n}.txt").exists()]
+    names += sorted(
+        p.stem for p in results_dir.glob("*.txt") if p.stem not in EXPERIMENT_ORDER
+    )
+    for name in names:
+        if name in seen:
+            continue
+        seen.add(name)
+        body = (results_dir / f"{name}.txt").read_text(encoding="utf-8").rstrip()
+        sections += ["", f"## {name}", "", "```text", body, "```"]
+    text = "\n".join(sections) + "\n"
+    if output is not None:
+        Path(output).write_text(text, encoding="utf-8")
+    return text

@@ -1,0 +1,73 @@
+"""Wedge-sampling triangle estimation (the streaming-literature approach).
+
+The streaming estimators the paper cites ([1, 9, 13]) reduce triangle
+counting to estimating the fraction of *closed wedges* (paths of length
+two whose endpoints are adjacent): with ``W`` total wedges and closure
+fraction ``kappa``, the triangle count is ``kappa * W / 3``.  Sampling
+wedges uniformly — pick a center proportional to ``C(deg, 2)``, then a
+random neighbor pair — gives an unbiased closure estimate from a tiny
+number of adjacency probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.graph import Graph
+
+__all__ = ["WedgeEstimate", "wedge_sampling"]
+
+
+@dataclass(frozen=True)
+class WedgeEstimate:
+    """A wedge-sampling run: estimate, closure rate, and standard error."""
+
+    estimate: float
+    closed_fraction: float
+    total_wedges: int
+    samples: int
+    standard_error: float
+
+    @property
+    def confidence_interval(self) -> tuple[float, float]:
+        """~95% interval around the estimate (normal approximation)."""
+        margin = 1.96 * self.standard_error
+        return (max(0.0, self.estimate - margin), self.estimate + margin)
+
+
+def wedge_sampling(graph: Graph, samples: int, *, seed: int = 0) -> WedgeEstimate:
+    """Estimate the triangle count from *samples* uniform random wedges."""
+    if samples < 1:
+        raise ConfigurationError("need at least one wedge sample")
+    degrees = graph.degrees().astype(np.int64)
+    wedges_per_vertex = degrees * (degrees - 1) // 2
+    total_wedges = int(wedges_per_vertex.sum())
+    if total_wedges == 0:
+        return WedgeEstimate(0.0, 0.0, 0, samples, 0.0)
+
+    rng = np.random.default_rng(seed)
+    cumulative = np.cumsum(wedges_per_vertex)
+    picks = rng.integers(0, total_wedges, size=samples)
+    centers = np.searchsorted(cumulative, picks, side="right")
+
+    closed = 0
+    for center in centers:
+        row = graph.neighbors(int(center))
+        i, j = rng.choice(len(row), size=2, replace=False)
+        closed += int(graph.has_edge(int(row[i]), int(row[j])))
+
+    fraction = closed / samples
+    estimate = fraction * total_wedges / 3.0
+    # Binomial standard error propagated through the scaling.
+    se_fraction = sqrt(max(fraction * (1.0 - fraction), 1e-12) / samples)
+    return WedgeEstimate(
+        estimate=estimate,
+        closed_fraction=fraction,
+        total_wedges=total_wedges,
+        samples=samples,
+        standard_error=se_fraction * total_wedges / 3.0,
+    )

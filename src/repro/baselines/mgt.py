@@ -1,0 +1,38 @@
+"""MGT — Massive Graph Triangulation (Hu et al., SIGMOD'13) — standalone API.
+
+The paper realizes MGT as an OPT instance (Section 3.5); this module is a
+thin convenience wrapper over that instantiation so that benchmark code
+can call every baseline through a uniform ``method(graph, buffer_pages=…)``
+signature.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import triangulate_disk
+from repro.graph.graph import Graph
+from repro.memory.base import TriangleSink, TriangulationResult
+from repro.sim.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.storage.layout import GraphStore
+from repro.storage.page import DEFAULT_PAGE_SIZE
+
+__all__ = ["mgt"]
+
+
+def mgt(
+    source: Graph | GraphStore,
+    *,
+    buffer_pages: int,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    cost: CostModel = DEFAULT_COST_MODEL,
+    sink: TriangleSink | None = None,
+) -> TriangulationResult:
+    """Run MGT with a *buffer_pages*-page budget (serial, synchronous I/O)."""
+    return triangulate_disk(
+        source,
+        plugin="mgt",
+        buffer_pages=buffer_pages,
+        page_size=page_size,
+        cost=cost,
+        cores=1,
+        sink=sink,
+    )

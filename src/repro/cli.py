@@ -1,0 +1,352 @@
+"""Command-line interface: ``opt-repro`` / ``python -m repro``.
+
+Subcommands
+-----------
+``generate``
+    Produce a synthetic graph (R-MAT, Erdős–Rényi, Holme–Kim, BA) as an
+    edge-list or binary file.
+``triangulate``
+    Run any method — disk-based OPT variants, baselines, or in-memory
+    iterators — over an input file or a named dataset stand-in and print
+    the result summary.
+``datasets``
+    List the built-in dataset stand-ins with their (generated) statistics.
+``metrics``
+    Compute triangle-derived network metrics for a graph.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.graph import datasets, generators
+from repro.graph.io import (
+    read_adjacency,
+    read_binary,
+    read_edge_list,
+    write_binary,
+    write_edge_list,
+)
+from repro.graph.ordering import apply_ordering
+from repro.util.tables import format_table
+
+__all__ = ["main"]
+
+
+def _load_graph(args) -> "object":
+    if args.dataset:
+        graph = datasets.load(args.dataset)
+    else:
+        path = Path(args.input)
+        suffixes = "".join(path.suffixes)
+        if path.suffix == ".bin":
+            graph = read_binary(path)
+        elif ".adj" in suffixes:
+            graph = read_adjacency(path)
+        else:
+            graph = read_edge_list(path)
+    if getattr(args, "ordering", "degree") != "natural":
+        graph, _ = apply_ordering(graph, args.ordering)
+    return graph
+
+
+def _cmd_generate(args) -> int:
+    if args.model == "rmat":
+        graph = generators.rmat(args.vertices, args.edges, seed=args.seed)
+    elif args.model == "erdos-renyi":
+        graph = generators.erdos_renyi(args.vertices, args.edges, seed=args.seed)
+    elif args.model == "holme-kim":
+        graph = generators.holme_kim(args.vertices, args.attach, args.triad,
+                                     seed=args.seed)
+    else:
+        graph = generators.barabasi_albert(args.vertices, args.attach,
+                                           seed=args.seed)
+    path = Path(args.output)
+    if path.suffix == ".bin":
+        write_binary(graph, path)
+    else:
+        write_edge_list(graph, path)
+    print(f"wrote {graph.num_vertices} vertices / {graph.num_edges} edges to {path}")
+    return 0
+
+
+def _cmd_triangulate(args) -> int:
+    from repro.baselines import cc_ds, cc_seq, graphchi_tri, mgt
+    from repro.core import make_store, triangulate_disk
+    from repro.memory import edge_iterator, forward, matrix_count, vertex_iterator
+    from repro.sim import CostModel
+
+    graph = _load_graph(args)
+    cost = CostModel()
+    method = args.method
+    if method in ("opt", "opt-vi", "mgt"):
+        plugin = {"opt": "edge-iterator", "opt-vi": "vertex-iterator",
+                  "mgt": "mgt"}[method]
+        store = make_store(graph, args.page_size)
+        result = triangulate_disk(store, plugin=plugin,
+                                  buffer_ratio=args.buffer_ratio,
+                                  cost=cost, cores=args.cores)
+    elif method in ("cc-seq", "cc-ds", "graphchi"):
+        from repro.core import buffer_pages_for_ratio, make_store as _ms
+
+        store = _ms(graph, args.page_size)
+        pages = buffer_pages_for_ratio(store, args.buffer_ratio)
+        if method == "cc-seq":
+            result = cc_seq(graph, buffer_pages=pages, page_size=args.page_size,
+                            cost=cost)
+        elif method == "cc-ds":
+            result = cc_ds(graph, buffer_pages=pages, page_size=args.page_size,
+                           cost=cost)
+        else:
+            result = graphchi_tri(graph, buffer_pages=pages,
+                                  page_size=args.page_size, cost=cost,
+                                  cores=args.cores)
+    else:
+        runner = {"edge-iterator": edge_iterator,
+                  "vertex-iterator": vertex_iterator,
+                  "forward": forward,
+                  "matrix": matrix_count}[method]
+        result = runner(graph)
+
+    rows = [
+        ("triangles", result.triangles),
+        ("cpu ops", result.cpu_ops),
+        ("pages read", result.pages_read),
+        ("pages written", result.pages_written),
+        ("iterations", result.iterations),
+        ("elapsed (simulated s)", result.elapsed),
+    ]
+    print(format_table(["measure", "value"], rows,
+                       title=f"{method} on {args.dataset or args.input}"))
+    return 0
+
+
+def _cmd_layout(args) -> int:
+    from repro.preprocess import build_store_external
+
+    work_dir = args.work_dir or str(Path(args.output) / "work")
+    store, _mapping, stats = build_store_external(
+        args.input,
+        work_dir,
+        page_size=args.page_size,
+        chunk_edges=args.chunk_edges,
+        degree_order=not args.natural_order,
+    )
+    pages_path, index_path = store.save(args.output)
+    rows = [
+        ("vertices", stats.num_vertices),
+        ("edges", stats.num_edges),
+        ("phase-1 runs", stats.runs_phase1),
+        ("phase-2 runs", stats.runs_phase2),
+        ("pages", stats.num_pages),
+    ]
+    print(format_table(["measure", "value"], rows,
+                       title=f"packed {args.input} -> {pages_path}"))
+    return 0
+
+
+def _cmd_cliques(args) -> int:
+    from repro.memory import count_cliques
+
+    graph = _load_graph(args)
+    result = count_cliques(graph, args.k)
+    print(format_table(
+        ["measure", "value"],
+        [("k", args.k), (f"{args.k}-cliques", result.triangles),
+         ("cpu ops", result.cpu_ops)],
+        title=f"{args.k}-clique count",
+    ))
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.verify import verify_methods
+
+    graph = _load_graph(args)
+    report = verify_methods(graph, page_size=args.page_size,
+                            buffer_pages=args.buffer_pages,
+                            include_threaded=not args.skip_threaded)
+    rows = sorted(report.counts.items())
+    print(format_table(["method", "triangles"], rows,
+                       title="Cross-method verification"))
+    if report.consistent:
+        print(f"\nall {len(report.counts)} methods agree: "
+              f"{report.expected:,} triangles")
+        return 0
+    print(f"\nDISAGREEMENT: {report.disagreements()}")
+    return 1
+
+
+def _cmd_bench(args) -> int:
+    import time
+
+    from repro.experiments import experiment_names, run_experiment
+
+    if args.list:
+        for name in experiment_names():
+            print(name)
+        return 0
+    names = args.experiments or experiment_names()
+    unknown = [n for n in names if n not in experiment_names()]
+    if unknown:
+        print(f"error: unknown experiment(s) {', '.join(unknown)}; "
+              f"available: {', '.join(experiment_names())}", file=sys.stderr)
+        return 1
+    results_dir = Path(args.results_dir) if args.results_dir else None
+    if results_dir:
+        results_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        start = time.perf_counter()
+        result = run_experiment(name)
+        wall = time.perf_counter() - start
+        print(f"\n{'=' * 72}\n{result.text}\n{'-' * 72}")
+        print(f"{name}: {len(result.checks)} claims verified in {wall:.1f}s")
+        if results_dir:
+            (results_dir / f"{name}.txt").write_text(result.text + "\n",
+                                                     encoding="utf-8")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import build_report
+
+    text = build_report(args.results_dir, args.output)
+    if args.output:
+        print(f"wrote report to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_datasets(args) -> int:
+    rows = []
+    for name in datasets.dataset_names():
+        spec = datasets.DATASETS[name]
+        graph = datasets.load(name)
+        rows.append((name, graph.num_vertices, graph.num_edges,
+                     spec.paper_vertices, spec.paper_edges))
+    print(format_table(
+        ["dataset", "|V| (stand-in)", "|E| (stand-in)", "|V| (paper)", "|E| (paper)"],
+        rows, title="Dataset stand-ins"))
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.graph.metrics import (
+        global_clustering_coefficient,
+        per_vertex_triangles,
+        transitivity,
+    )
+
+    graph = _load_graph(args)
+    triangles = int(per_vertex_triangles(graph).sum()) // 3
+    rows = [
+        ("vertices", graph.num_vertices),
+        ("edges", graph.num_edges),
+        ("triangles", triangles),
+        ("clustering coefficient", global_clustering_coefficient(graph)),
+        ("transitivity", transitivity(graph)),
+    ]
+    print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="opt-repro",
+        description="OPT overlapped & parallel triangulation (SIGMOD'14 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic graph")
+    gen.add_argument("--model", choices=["rmat", "erdos-renyi", "holme-kim",
+                                         "barabasi-albert"], default="rmat")
+    gen.add_argument("--vertices", type=int, required=True)
+    gen.add_argument("--edges", type=int, default=0)
+    gen.add_argument("--attach", type=int, default=4)
+    gen.add_argument("--triad", type=float, default=0.3)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--output", required=True)
+    gen.set_defaults(func=_cmd_generate)
+
+    def add_input_args(p):
+        group = p.add_mutually_exclusive_group(required=True)
+        group.add_argument("--input", help="edge-list (.txt) or binary (.bin) graph")
+        group.add_argument("--dataset", help="named stand-in (LJ, ORKUT, ...)")
+        p.add_argument("--ordering", choices=["natural", "degree", "random"],
+                       default="degree")
+
+    tri = sub.add_parser("triangulate", help="run a triangulation method")
+    add_input_args(tri)
+    tri.add_argument("--method", default="opt",
+                     choices=["opt", "opt-vi", "mgt", "cc-seq", "cc-ds",
+                              "graphchi", "edge-iterator", "vertex-iterator",
+                              "forward", "matrix"])
+    tri.add_argument("--buffer-ratio", type=float, default=0.15)
+    tri.add_argument("--page-size", type=int, default=4096)
+    tri.add_argument("--cores", type=int, default=1)
+    tri.set_defaults(func=_cmd_triangulate)
+
+    lay = sub.add_parser("layout",
+                         help="pack an edge-list file into a page store "
+                              "(out-of-core, external sort)")
+    lay.add_argument("--input", required=True)
+    lay.add_argument("--output", required=True,
+                     help="directory receiving graph.pages + graph.idx.npz")
+    lay.add_argument("--work-dir", default=None)
+    lay.add_argument("--page-size", type=int, default=4096)
+    lay.add_argument("--chunk-edges", type=int, default=65536)
+    lay.add_argument("--natural-order", action="store_true",
+                     help="skip the degree-based relabeling")
+    lay.set_defaults(func=_cmd_layout)
+
+    clq = sub.add_parser("cliques", help="count k-cliques")
+    add_input_args(clq)
+    clq.add_argument("--k", type=int, default=4)
+    clq.set_defaults(func=_cmd_cliques)
+
+    ver = sub.add_parser("verify", help="cross-check all methods on one graph")
+    add_input_args(ver)
+    ver.add_argument("--page-size", type=int, default=1024)
+    ver.add_argument("--buffer-pages", type=int, default=8)
+    ver.add_argument("--skip-threaded", action="store_true")
+    ver.set_defaults(func=_cmd_verify)
+
+    ben = sub.add_parser("bench", help="run paper-reproduction experiments")
+    ben.add_argument("experiments", nargs="*",
+                     help="experiment ids (e.g. fig6 table4); default: all")
+    ben.add_argument("--list", action="store_true",
+                     help="list available experiments")
+    ben.add_argument("--results-dir", default=None,
+                     help="also write each table to <dir>/<id>.txt")
+    ben.set_defaults(func=_cmd_bench)
+
+    rep = sub.add_parser("report", help="assemble benchmark results into markdown")
+    rep.add_argument("--results-dir", default="benchmarks/results")
+    rep.add_argument("--output", default=None)
+    rep.set_defaults(func=_cmd_report)
+
+    ds = sub.add_parser("datasets", help="list dataset stand-ins")
+    ds.set_defaults(func=_cmd_datasets)
+
+    met = sub.add_parser("metrics", help="triangle-derived network metrics")
+    add_input_args(met)
+    met.set_defaults(func=_cmd_metrics)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

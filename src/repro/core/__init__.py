@@ -1,0 +1,42 @@
+"""The OPT framework: driver, plugins, engines, output writer."""
+
+from repro.core.context import ChunkContext
+from repro.core.engine import (
+    PLUGINS,
+    buffer_pages_for_ratio,
+    ideal_elapsed,
+    make_store,
+    replay,
+    resolve_plugin,
+    triangulate_disk,
+)
+from repro.core.framework import OPTConfig, run_opt
+from repro.core.output import NestedOutputWriter
+from repro.core.result_store import TriangleStore, read_nested_groups
+from repro.core.plugins import (
+    EdgeIteratorPlugin,
+    IteratorPlugin,
+    MGTPlugin,
+    VertexIteratorPlugin,
+)
+from repro.core.threaded import triangulate_threaded
+
+__all__ = [
+    "PLUGINS",
+    "ChunkContext",
+    "EdgeIteratorPlugin",
+    "IteratorPlugin",
+    "MGTPlugin",
+    "NestedOutputWriter",
+    "OPTConfig",
+    "TriangleStore",
+    "read_nested_groups",
+    "VertexIteratorPlugin",
+    "buffer_pages_for_ratio",
+    "ideal_elapsed",
+    "make_store",
+    "replay",
+    "resolve_plugin",
+    "run_opt",
+    "triangulate_disk",
+]

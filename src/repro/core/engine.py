@@ -1,0 +1,161 @@
+"""High-level entry points: run OPT end to end and report results.
+
+``triangulate_disk`` is the main public API of the reproduction: it packs
+a graph into slotted pages (or takes a prepared store), runs the real OPT
+algorithm, replays the trace on the simulated multi-core/FlashSSD
+machine, and returns a :class:`~repro.memory.base.TriangulationResult`
+whose ``elapsed`` is simulated seconds.
+
+``ideal_elapsed`` computes the paper's ideal cost — reading the graph
+once plus the in-memory CPU cost (Eq. 6) — against which Figure 3a's
+relative overhead is measured.
+"""
+
+from __future__ import annotations
+
+from repro.core.framework import OPTConfig, run_opt
+from repro.core.plugins import (
+    EdgeIteratorPlugin,
+    IteratorPlugin,
+    MGTPlugin,
+    VertexIteratorPlugin,
+)
+from repro.errors import ConfigurationError
+from repro.graph.graph import Graph
+from repro.memory.base import TriangleSink, TriangulationResult
+from repro.sim.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.sim.schedule import simulate
+from repro.sim.trace import RunTrace
+from repro.storage.layout import GraphStore
+from repro.storage.page import DEFAULT_PAGE_SIZE
+
+__all__ = [
+    "PLUGINS",
+    "buffer_pages_for_ratio",
+    "ideal_elapsed",
+    "make_store",
+    "resolve_plugin",
+    "triangulate_disk",
+]
+
+PLUGINS: dict[str, type[IteratorPlugin]] = {
+    "edge-iterator": EdgeIteratorPlugin,
+    "vertex-iterator": VertexIteratorPlugin,
+    "mgt": MGTPlugin,
+}
+
+
+def resolve_plugin(plugin: IteratorPlugin | str) -> IteratorPlugin:
+    """Instantiate a plugin from its name (or pass an instance through)."""
+    if isinstance(plugin, IteratorPlugin):
+        return plugin
+    try:
+        return PLUGINS[plugin]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown plugin {plugin!r}; available: {', '.join(PLUGINS)}"
+        ) from None
+
+
+def make_store(graph: Graph, page_size: int = DEFAULT_PAGE_SIZE) -> GraphStore:
+    """Pack *graph* into a page store (vertex-id order)."""
+    return GraphStore.from_graph(graph, page_size)
+
+
+def buffer_pages_for_ratio(store: GraphStore, ratio: float) -> int:
+    """Memory budget in pages for a buffer of ``ratio * graph size``.
+
+    Clamped to at least 2 pages (one internal + one external frame).
+    """
+    if ratio <= 0:
+        raise ConfigurationError("buffer ratio must be positive")
+    return max(2, int(round(store.num_pages * ratio)))
+
+
+def triangulate_disk(
+    source: Graph | GraphStore,
+    *,
+    plugin: IteratorPlugin | str = "edge-iterator",
+    buffer_ratio: float = 0.15,
+    buffer_pages: int | None = None,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    cost: CostModel = DEFAULT_COST_MODEL,
+    cores: int = 1,
+    morphing: bool = True,
+    serial: bool | None = None,
+    sink: TriangleSink | None = None,
+) -> TriangulationResult:
+    """Run disk-based OPT triangulation end to end.
+
+    Parameters
+    ----------
+    source:
+        A :class:`Graph` (packed on the fly) or a prepared
+        :class:`GraphStore`.
+    plugin:
+        Iterator instance: ``"edge-iterator"`` (default, the paper's
+        fastest), ``"vertex-iterator"``, or ``"mgt"``.
+    buffer_ratio / buffer_pages:
+        Memory budget as a fraction of the graph's page count, or an
+        explicit page count (overrides the ratio).  Split evenly into
+        internal and external areas, as in the paper's experiments.
+    cores / morphing / serial:
+        Simulated execution configuration.  ``serial=None`` auto-selects
+        OPT_serial when ``cores == 1``.
+
+    Returns a :class:`TriangulationResult` whose ``elapsed`` is the
+    simulated wall time and whose ``extra`` carries the trace and the
+    scheduler result for deeper analysis.
+    """
+    store = source if isinstance(source, GraphStore) else make_store(source, page_size)
+    plugin = resolve_plugin(plugin)
+    total = buffer_pages if buffer_pages is not None else buffer_pages_for_ratio(
+        store, buffer_ratio
+    )
+    if plugin.rescan_all:
+        # MGT has no internal/external split: the whole buffer (minus one
+        # streaming frame) holds the memory graph.
+        config = OPTConfig(m_in=max(1, total - 1), m_ex=1, plugin=plugin)
+    else:
+        config = OPTConfig.even_split(total, plugin=plugin)
+    trace = run_opt(store, config, sink=sink)
+    if serial is None:
+        serial = cores == 1
+    sim = simulate(trace, cost, cores=cores, morphing=morphing, serial=serial)
+    return TriangulationResult(
+        triangles=trace.triangles,
+        cpu_ops=trace.total_ops + trace.total_candidate_ops,
+        pages_read=trace.total_device_reads,
+        pages_buffered=trace.total_fill_buffered,
+        elapsed=sim.elapsed,
+        iterations=len(trace.iterations),
+        extra={"trace": trace, "sim": sim, "config": config, "store": store},
+    )
+
+
+def ideal_elapsed(
+    store: GraphStore,
+    cpu_ops: int,
+    cost: CostModel = DEFAULT_COST_MODEL,
+) -> float:
+    """The paper's ideal cost (Eq. 6): read the graph once + CPU.
+
+    *cpu_ops* should be the in-memory EdgeIterator≻ op count of the same
+    (relabeled) graph; the read uses the same channel parallelism the
+    simulated engines enjoy.
+    """
+    return cost.read_io(store.num_pages) / cost.channels + cost.cpu(cpu_ops)
+
+
+def replay(trace: RunTrace, cost: CostModel, **kwargs) -> TriangulationResult:
+    """Re-schedule an existing trace under a new configuration."""
+    sim = simulate(trace, cost, **kwargs)
+    return TriangulationResult(
+        triangles=trace.triangles,
+        cpu_ops=trace.total_ops + trace.total_candidate_ops,
+        pages_read=trace.total_device_reads,
+        pages_buffered=trace.total_fill_buffered,
+        elapsed=sim.elapsed,
+        iterations=len(trace.iterations),
+        extra={"trace": trace, "sim": sim},
+    )

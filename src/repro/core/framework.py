@@ -1,0 +1,181 @@
+"""The OPT driver: Algorithm 3 with its callbacks (Algorithms 4, 5, 7, 9).
+
+``run_opt`` executes the *real* algorithm against a page store: it fills
+the internal area chunk by chunk, identifies external candidate vertices
+while loading (Algorithm 7), builds the descending-ordered request list
+(Algorithm 4 — so the pages the *next* chunk needs are the last through
+the external area and stay buffered, the paper's ``Δin`` saving), finds
+internal triangles per page (Algorithm 5) and external triangles per
+arrived candidate chunk (Algorithm 9).
+
+The driver produces exact triangles plus a :class:`~repro.sim.trace.RunTrace`
+describing every iteration's I/O and per-page CPU cost; the discrete-event
+scheduler replays the trace under any core/morphing configuration.  This
+separation is what makes a single execution serve a whole speed-up curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.context import ChunkContext
+from repro.core.plugins import EdgeIteratorPlugin, IteratorPlugin
+from repro.errors import ConfigurationError
+from repro.memory.base import CountSink, TriangleSink
+from repro.sim.trace import ExternalRead, IterationTrace, RunTrace
+from repro.storage.buffer import BufferManager
+from repro.storage.layout import GraphStore
+
+__all__ = ["OPTConfig", "run_opt"]
+
+
+@dataclass
+class OPTConfig:
+    """Static configuration of one OPT run.
+
+    ``m_in`` / ``m_ex`` are the internal- and external-area sizes in
+    pages.  The paper splits the memory budget evenly (``m_in = m_ex =
+    m / 2``) to maximize the buffering effect of Algorithm 4's load order;
+    :meth:`even_split` builds that configuration from a total budget.
+    """
+
+    m_in: int
+    m_ex: int
+    plugin: IteratorPlugin = field(default_factory=EdgeIteratorPlugin)
+
+    def __post_init__(self) -> None:
+        if self.m_in < 1 or self.m_ex < 1:
+            raise ConfigurationError("m_in and m_ex must be at least one page")
+
+    @classmethod
+    def even_split(cls, total_pages: int, plugin: IteratorPlugin | None = None) -> "OPTConfig":
+        """Split a total budget of *total_pages* evenly, as the paper does."""
+        if total_pages < 2:
+            raise ConfigurationError("memory budget must be at least two pages")
+        half = total_pages // 2
+        return cls(m_in=half, m_ex=total_pages - half,
+                   plugin=plugin or EdgeIteratorPlugin())
+
+
+def run_opt(
+    store: GraphStore,
+    config: OPTConfig,
+    sink: TriangleSink | None = None,
+) -> RunTrace:
+    """Run OPT over *store* and return the trace (with real triangles).
+
+    The buffer manager holds ``m_in + m_ex`` frames; internal-chunk pages
+    are pinned for their iteration, external pages cycle through the
+    remaining frames under LRU — which is how the saved I/O ``Δin``
+    arises rather than being assumed.
+    """
+    if sink is None:
+        sink = CountSink()
+    plugin = config.plugin
+    trace = RunTrace(num_pages=store.num_pages, m_in=config.m_in,
+                     m_ex=1 if plugin.sync_external else config.m_ex,
+                     sync_external=plugin.sync_external)
+    if store.num_pages == 0:
+        return trace
+
+    # Pre-compute the chunk boundaries: a chunk may exceed m_in when a
+    # single adjacency list spans more pages (DESIGN.md §2), in which case
+    # the frame budget grows to hold it — the paper's "internal area must
+    # be large enough to load at least one adjacency list".
+    chunks: list[tuple[int, int]] = []
+    pid = 0
+    while pid < store.num_pages:
+        end = store.align_chunk_end(pid, config.m_in)
+        chunks.append((pid, end))
+        pid = end + 1
+    max_chunk = max(end - start + 1 for start, end in chunks)
+    capacity = max(config.m_in, max_chunk) + config.m_ex
+    buffer = BufferManager(capacity, loader=store.decode_page)
+
+    output_pages_before = getattr(sink, "pages_written", 0)
+    for pid, end in chunks:
+        iteration = IterationTrace()
+
+        # -- fill the internal area (Algorithm 3 lines 6-8) ------------------
+        chunk_pages = list(range(pid, end + 1))
+        chunk_records = []
+        for page_id in chunk_pages:
+            hit = page_id in buffer
+            frame = buffer.get(page_id, pin=True)
+            if hit and not plugin.rescan_all:
+                iteration.fill_buffered += 1
+            else:
+                iteration.fill_reads += 1
+            chunk_records.append(frame.records)
+
+        v_lo, v_hi = store.chunk_vertex_range(pid, end)
+        adjacency = _assemble_adjacency(chunk_records)
+        ctx = ChunkContext(v_lo, v_hi, adjacency, sink)
+
+        # -- candidate identification (Algorithm 7 per record) ---------------
+        for records in chunk_records:
+            for record in records:
+                candidates, ops = plugin.candidates_for_record(ctx, record)
+                iteration.candidate_ops += ops
+                for candidate in candidates:
+                    ctx.add_request(int(candidate), record.vertex)
+
+        # -- build the request list (Algorithm 4) ----------------------------
+        if plugin.rescan_all:
+            # MGT streams the whole input file once per iteration (its I/O
+            # cost bound, Eq. 7); no buffering credit for re-read pages.
+            ordered = list(range(store.num_pages))
+        else:
+            pages_needed: set[int] = set()
+            for candidate in ctx.requesters:
+                pages_needed.update(store.pages_of_candidate(candidate))
+            # Descending page ids: the next chunk's pages are loaded last
+            # and survive in the external area (the paper's Δin trick).
+            ordered = sorted(pages_needed - set(chunk_pages), reverse=True)
+
+        # -- external triangulation (Algorithm 9 per page) --------------------
+        for page_id in ordered:
+            hit = page_id in buffer
+            frame = buffer.get(page_id, pin=True)
+            ops = 0
+            for record in frame.records:
+                if record.vertex in ctx.requesters:
+                    ops += plugin.external_ops_for_record(ctx, record)
+            buffer.unpin(page_id)
+            buffered = hit and not plugin.rescan_all
+            iteration.external_reads.append(
+                ExternalRead(pid=page_id, cpu_ops=ops, buffered=buffered)
+            )
+
+        # -- internal triangulation (Algorithm 5, parallel per page) ----------
+        for records in chunk_records:
+            iteration.internal_page_ops.append(
+                plugin.internal_ops_for_page(ctx, records)
+            )
+
+        # -- unpin the chunk (Algorithm 3 lines 12-13) -------------------------
+        for page_id in chunk_pages:
+            buffer.unpin(page_id)
+
+        output_pages_now = getattr(sink, "pages_written", 0)
+        iteration.output_pages = output_pages_now - output_pages_before
+        output_pages_before = output_pages_now
+
+        trace.iterations.append(iteration)
+
+    trace.triangles = getattr(sink, "count", 0)
+    return trace
+
+
+def _assemble_adjacency(chunk_records) -> dict:
+    """Concatenate record chunks into full adjacency lists per vertex."""
+    import numpy as np
+
+    partial: dict[int, list] = {}
+    for records in chunk_records:
+        for record in records:
+            partial.setdefault(record.vertex, []).append(record.neighbors)
+    return {
+        vertex: (parts[0] if len(parts) == 1 else np.concatenate(parts))
+        for vertex, parts in partial.items()
+    }

@@ -1,0 +1,22 @@
+"""Simulated distributed triangulation methods (the paper's Section 5.9)."""
+
+from repro.distributed.cluster import DEFAULT_CLUSTER, ClusterSpec
+from repro.distributed.methods import akm, powergraph, sv_mapreduce
+from repro.distributed.partitioning import (
+    edge_cut,
+    hash_partition,
+    per_partition_ops,
+    vertex_cut_replication,
+)
+
+__all__ = [
+    "DEFAULT_CLUSTER",
+    "ClusterSpec",
+    "akm",
+    "edge_cut",
+    "hash_partition",
+    "per_partition_ops",
+    "powergraph",
+    "sv_mapreduce",
+    "vertex_cut_replication",
+]

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the OPT reproduction library.
+
+Every error raised by ``repro`` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph inputs (self loops, bad vertex ids...)."""
+
+
+class GraphFormatError(GraphError):
+    """Raised when parsing an on-disk graph representation fails."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-layer failures."""
+
+
+class PageFormatError(StorageError):
+    """Raised when a slotted page cannot be decoded."""
+
+
+class PageFullError(StorageError):
+    """Raised when a record does not fit into the remaining page space."""
+
+
+class BufferError_(StorageError):
+    """Raised on buffer-manager misuse (over-unpin, no free frame...).
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``BufferError``.
+    """
+
+
+class DeviceError(StorageError):
+    """Raised when an I/O device (real or simulated) fails a request."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulation reaches an invalid state."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid framework configuration (buffer sizes, cores...)."""
+
+
+class TriangulationError(ReproError):
+    """Raised when a triangulation run cannot proceed."""

@@ -1,0 +1,73 @@
+"""Shared configuration and caching for the reproduction experiments.
+
+Every experiment runs on 1 KiB pages (the stand-in graphs are ~1/1000 the
+paper's, so smaller pages keep page counts — and hence buffer granularity
+— comparable to the original setup) under one cost model, calibrated once
+against Figures 3a/6 and then frozen (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable
+
+from repro.core import make_store
+from repro.graph import datasets
+from repro.graph.graph import Graph
+from repro.graph.ordering import apply_ordering
+from repro.memory import edge_iterator
+from repro.memory.base import TriangulationResult
+from repro.sim import CostModel
+from repro.storage.layout import GraphStore
+
+__all__ = ["COST", "PAGE_SIZE", "ExperimentResult", "prepared"]
+
+PAGE_SIZE = 1024
+COST = CostModel()
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment: the rendered table plus raw data.
+
+    ``text`` is the paper-style table; ``data`` carries the structured
+    values the verification assertions (and any downstream analysis)
+    consume; ``checks`` is filled by ``verify`` implementations with a
+    human-readable record of each asserted claim.
+    """
+
+    name: str
+    text: str
+    data: dict = field(default_factory=dict)
+    checks: list[str] = field(default_factory=list)
+
+    def check(self, condition: bool, description: str) -> None:
+        """Assert one qualitative claim, recording it on success."""
+        if not condition:
+            raise AssertionError(f"{self.name}: failed claim: {description}")
+        self.checks.append(description)
+
+
+@lru_cache(maxsize=None)
+def prepared(name: str) -> tuple[Graph, GraphStore, TriangulationResult]:
+    """Degree-ordered stand-in, its page store, and the EdgeIterator≻
+    reference result (the ideal method's CPU cost)."""
+    graph, _ = apply_ordering(datasets.load(name), "degree")
+    store = make_store(graph, PAGE_SIZE)
+    reference = edge_iterator(graph)
+    return graph, store, reference
+
+
+#: Filled by repro.experiments.__init__ with id -> runner.
+REGISTRY: dict[str, Callable[[], ExperimentResult]] = {}
+
+
+def experiment(name: str):
+    """Decorator registering an experiment runner under *name*."""
+
+    def wrap(func: Callable[[], ExperimentResult]):
+        REGISTRY[name] = func
+        return func
+
+    return wrap

@@ -1,0 +1,18 @@
+"""Graph substrate: CSR graphs, builders, generators, orderings, metrics."""
+
+from repro.graph.builder import GraphBuilder, from_edges
+from repro.graph.cores import core_numbers, degeneracy, degeneracy_arboricity_bounds
+from repro.graph.graph import Graph
+from repro.graph.ordering import Ordering, apply_ordering, degree_order_mapping
+
+__all__ = [
+    "Graph",
+    "core_numbers",
+    "degeneracy",
+    "degeneracy_arboricity_bounds",
+    "GraphBuilder",
+    "Ordering",
+    "apply_ordering",
+    "degree_order_mapping",
+    "from_edges",
+]

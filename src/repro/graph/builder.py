@@ -1,0 +1,103 @@
+"""Incremental construction of simple undirected graphs.
+
+:class:`GraphBuilder` accepts arbitrary (possibly duplicated, possibly
+out-of-range) edge input, enforces the *simple undirected graph* contract
+from the paper's problem definition (no self loops, no parallel edges),
+and emits an immutable CSR :class:`~repro.graph.graph.Graph`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+__all__ = ["GraphBuilder", "from_edges"]
+
+
+class GraphBuilder:
+    """Accumulates edges and builds a :class:`Graph`.
+
+    Parameters
+    ----------
+    num_vertices:
+        Optional fixed vertex count.  When omitted, the vertex count is
+        ``max vertex id + 1`` at build time (isolated trailing vertices can
+        be forced by passing ``num_vertices`` explicitly).
+    strict:
+        When true, adding a self loop raises :class:`GraphError`; when
+        false (default), self loops are silently dropped — convenient for
+        raw edge-list files.  Duplicate edges are always deduplicated.
+    """
+
+    def __init__(self, num_vertices: int | None = None, *, strict: bool = False):
+        if num_vertices is not None and num_vertices < 0:
+            raise GraphError("num_vertices must be non-negative")
+        self._num_vertices = num_vertices
+        self._strict = strict
+        self._sources: list[int] = []
+        self._targets: list[int] = []
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add the undirected edge ``(u, v)``."""
+        u, v = int(u), int(v)
+        if u < 0 or v < 0:
+            raise GraphError(f"negative vertex id in edge ({u}, {v})")
+        if u == v:
+            if self._strict:
+                raise GraphError(f"self loop at vertex {u}")
+            return
+        if self._num_vertices is not None and max(u, v) >= self._num_vertices:
+            raise GraphError(
+                f"edge ({u}, {v}) exceeds fixed vertex count {self._num_vertices}"
+            )
+        self._sources.append(u)
+        self._targets.append(v)
+
+    def add_edges(self, edges: Iterable[tuple[int, int]]) -> None:
+        """Add many undirected edges."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def build(self) -> Graph:
+        """Deduplicate, symmetrize, sort, and emit the CSR graph."""
+        if not self._sources:
+            n = self._num_vertices or 0
+            return Graph(np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.int64),
+                         validate=False)
+        src = np.asarray(self._sources, dtype=np.int64)
+        dst = np.asarray(self._targets, dtype=np.int64)
+        n = self._num_vertices
+        if n is None:
+            n = int(max(src.max(), dst.max())) + 1
+        # Canonicalize to (low, high), dedupe, then symmetrize.
+        low = np.minimum(src, dst)
+        high = np.maximum(src, dst)
+        keys = low * n + high
+        unique_keys = np.unique(keys)
+        low = unique_keys // n
+        high = unique_keys % n
+        all_src = np.concatenate([low, high])
+        all_dst = np.concatenate([high, low])
+        order = np.lexsort((all_dst, all_src))
+        all_src = all_src[order]
+        all_dst = all_dst[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        counts = np.bincount(all_src, minlength=n)
+        indptr[1:] = np.cumsum(counts)
+        return Graph(indptr, all_dst, validate=False)
+
+
+def from_edges(
+    edges: Iterable[tuple[int, int]],
+    num_vertices: int | None = None,
+    *,
+    strict: bool = False,
+) -> Graph:
+    """Build a :class:`Graph` from an edge iterable in one call."""
+    builder = GraphBuilder(num_vertices, strict=strict)
+    builder.add_edges(edges)
+    return builder.build()

@@ -1,0 +1,257 @@
+"""Synthetic graph generators used by the evaluation.
+
+The paper's Section 5.8 uses the R-MAT model (default parameters from
+Chakrabarti et al.) for the |V| and density sweeps, and the Holme–Kim
+growing-scale-free-with-tunable-clustering model for the clustering-
+coefficient sweep.  Erdős–Rényi and Barabási–Albert round out the family,
+and :func:`figure1_graph` reproduces the paper's running example.
+
+All generators are deterministic under a given ``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builder import from_edges
+from repro.graph.graph import Graph
+
+__all__ = [
+    "barabasi_albert",
+    "complete_graph",
+    "cycle_graph",
+    "erdos_renyi",
+    "figure1_graph",
+    "holme_kim",
+    "rmat",
+    "star_graph",
+    "watts_strogatz",
+]
+
+#: Default R-MAT quadrant probabilities from Chakrabarti et al. (SDM'04),
+#: the parameters the paper's synthetic experiments use.
+RMAT_DEFAULT = (0.45, 0.15, 0.15, 0.25)
+
+
+def figure1_graph() -> Graph:
+    """The 8-vertex example graph of the paper's Figure 1.
+
+    Vertices a..h map to 0..7.  It contains exactly five triangles:
+    (a,b,c), (c,d,f), (d,e,f), (c,f,g), (c,g,h).
+    """
+    a, b, c, d, e, f, g, h = range(8)
+    edges = [
+        (a, b), (a, c), (b, c),
+        (c, d), (c, f), (c, g), (c, h),
+        (d, e), (d, f), (e, f),
+        (f, g), (g, h),
+    ]
+    return from_edges(edges, num_vertices=8)
+
+
+def complete_graph(n: int) -> Graph:
+    """Complete graph ``K_n`` — has ``C(n, 3)`` triangles."""
+    return from_edges(((u, v) for u in range(n) for v in range(u + 1, n)),
+                      num_vertices=n)
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle ``C_n`` — triangle-free for ``n > 3``."""
+    if n < 3:
+        raise GraphError("cycle requires at least 3 vertices")
+    return from_edges(((i, (i + 1) % n) for i in range(n)), num_vertices=n)
+
+
+def star_graph(n: int) -> Graph:
+    """Star with one hub and ``n - 1`` leaves — triangle-free."""
+    if n < 2:
+        raise GraphError("star requires at least 2 vertices")
+    return from_edges(((0, i) for i in range(1, n)), num_vertices=n)
+
+
+def erdos_renyi(n: int, num_edges: int, *, seed: int = 0) -> Graph:
+    """G(n, m): *num_edges* distinct uniform random edges on *n* vertices."""
+    max_edges = n * (n - 1) // 2
+    if num_edges > max_edges:
+        raise GraphError(f"cannot place {num_edges} edges on {n} vertices")
+    rng = np.random.default_rng(seed)
+    chosen: set[tuple[int, int]] = set()
+    # Sample in batches; dedupe until enough distinct edges are collected.
+    while len(chosen) < num_edges:
+        need = num_edges - len(chosen)
+        u = rng.integers(0, n, size=need * 2)
+        v = rng.integers(0, n, size=need * 2)
+        for a, b in zip(u.tolist(), v.tolist()):
+            if a == b:
+                continue
+            edge = (a, b) if a < b else (b, a)
+            chosen.add(edge)
+            if len(chosen) == num_edges:
+                break
+    return from_edges(chosen, num_vertices=n)
+
+
+def rmat(
+    n: int,
+    num_edges: int,
+    *,
+    probabilities: tuple[float, float, float, float] = RMAT_DEFAULT,
+    seed: int = 0,
+) -> Graph:
+    """R-MAT recursive-matrix graph (Chakrabarti et al., SDM'04).
+
+    *n* is rounded up to the next power of two internally for the recursive
+    quadrant descent; vertices beyond *n - 1* are folded back by modulo, so
+    the result has exactly *n* vertices.  Self loops and duplicates are
+    dropped, hence the final edge count can be slightly below *num_edges*
+    (matching the reference generator's behaviour).
+    """
+    p_a, p_b, p_c, p_d = probabilities
+    total = p_a + p_b + p_c + p_d
+    if abs(total - 1.0) > 1e-9:
+        raise GraphError("R-MAT probabilities must sum to 1")
+    levels = max(1, int(np.ceil(np.log2(max(n, 2)))))
+    rng = np.random.default_rng(seed)
+    # Oversample to compensate for dedup losses on dense corners.
+    batch = int(num_edges * 1.1) + 16
+    src = np.zeros(batch, dtype=np.int64)
+    dst = np.zeros(batch, dtype=np.int64)
+    for level in range(levels):
+        r = rng.random(batch)
+        bit = 1 << (levels - level - 1)
+        # Quadrant choice: a = (0,0), b = (0,1), c = (1,0), d = (1,1).
+        in_b = (r >= p_a) & (r < p_a + p_b)
+        in_c = (r >= p_a + p_b) & (r < p_a + p_b + p_c)
+        in_d = r >= p_a + p_b + p_c
+        dst[in_b | in_d] += bit
+        src[in_c | in_d] += bit
+    src %= n
+    dst %= n
+    return from_edges(zip(src.tolist(), dst.tolist()), num_vertices=n)
+
+
+def barabasi_albert(n: int, attach: int, *, seed: int = 0) -> Graph:
+    """Barabási–Albert preferential attachment with *attach* edges/vertex."""
+    if attach < 1 or n <= attach:
+        raise GraphError("need n > attach >= 1")
+    rng = np.random.default_rng(seed)
+    edges: list[tuple[int, int]] = []
+    # Repeated-endpoint list gives preferential attachment in O(1)/draw.
+    targets = list(range(attach))
+    repeated: list[int] = list(range(attach))
+    for v in range(attach, n):
+        for t in targets:
+            edges.append((v, t))
+        repeated.extend(targets)
+        repeated.extend([v] * attach)
+        targets = []
+        seen: set[int] = set()
+        while len(targets) < attach:
+            candidate = repeated[rng.integers(0, len(repeated))]
+            if candidate not in seen:
+                seen.add(candidate)
+                targets.append(candidate)
+    return from_edges(edges, num_vertices=n)
+
+
+def watts_strogatz(
+    n: int,
+    nearest: int,
+    rewire_probability: float,
+    *,
+    seed: int = 0,
+) -> Graph:
+    """Watts-Strogatz small-world graph.
+
+    A ring lattice where every vertex connects to its *nearest* (even)
+    closest neighbors, with each edge rewired to a uniform random target
+    with probability *rewire_probability*.  ``p = 0`` is a maximally
+    clustered lattice, ``p = 1`` approaches Erdős–Rényi — another knob for
+    clustering-sensitivity experiments, complementary to Holme–Kim.
+    """
+    if nearest < 2 or nearest % 2:
+        raise GraphError("nearest must be a positive even number")
+    if n <= nearest:
+        raise GraphError("need n > nearest")
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise GraphError("rewire_probability must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    edges: set[tuple[int, int]] = set()
+    for u in range(n):
+        for offset in range(1, nearest // 2 + 1):
+            v = (u + offset) % n
+            edges.add((u, v) if u < v else (v, u))
+    rewired: set[tuple[int, int]] = set()
+    for edge in sorted(edges):
+        if rng.random() < rewire_probability:
+            u = edge[0]
+            for _ in range(20):  # retry budget for a free target
+                w = int(rng.integers(0, n))
+                candidate = (u, w) if u < w else (w, u)
+                if w != u and candidate not in rewired and candidate not in edges:
+                    rewired.add(candidate)
+                    break
+            else:
+                rewired.add(edge)
+        else:
+            rewired.add(edge)
+    return from_edges(rewired, num_vertices=n)
+
+
+def holme_kim(
+    n: int,
+    attach: int,
+    triad_probability: float,
+    *,
+    seed: int = 0,
+) -> Graph:
+    """Holme–Kim growing scale-free graph with tunable clustering.
+
+    After each preferential attachment step, with probability
+    *triad_probability* the next edge is a *triad formation* step: the new
+    vertex connects to a random neighbor of the vertex it just attached to,
+    closing a triangle.  Raising *triad_probability* raises the clustering
+    coefficient while keeping the degree distribution power-law — exactly
+    the knob the paper's Figure 7c sweep needs.
+    """
+    if not 0.0 <= triad_probability <= 1.0:
+        raise GraphError("triad_probability must be in [0, 1]")
+    if attach < 1 or n <= attach:
+        raise GraphError("need n > attach >= 1")
+    rng = np.random.default_rng(seed)
+    adjacency: list[set[int]] = [set() for _ in range(n)]
+    repeated: list[int] = []
+
+    def connect(u: int, v: int) -> bool:
+        if u == v or v in adjacency[u]:
+            return False
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+        repeated.append(u)
+        repeated.append(v)
+        return True
+
+    for v in range(attach):
+        repeated.append(v)
+    for v in range(attach, n):
+        made = 0
+        last_target: int | None = None
+        guard = 0
+        while made < attach and guard < 50 * attach:
+            guard += 1
+            do_triad = (
+                last_target is not None
+                and adjacency[last_target]
+                and rng.random() < triad_probability
+            )
+            if do_triad:
+                neighbors = tuple(adjacency[last_target])
+                candidate = neighbors[rng.integers(0, len(neighbors))]
+            else:
+                candidate = repeated[rng.integers(0, len(repeated))]
+            if connect(v, candidate):
+                made += 1
+                last_target = candidate
+    edges = [(u, w) for u in range(n) for w in adjacency[u] if u < w]
+    return from_edges(edges, num_vertices=n)

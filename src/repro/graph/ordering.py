@@ -1,0 +1,68 @@
+"""Vertex-id orderings.
+
+The paper (following Schank & Wagner) relabels vertices so that ids follow
+non-decreasing degree: ``degree(u) < degree(v)  =>  id(u) < id(v)``.  High-
+degree vertices get high ids, which shrinks their ``n_succ`` lists and cuts
+intersection cost by orders of magnitude on power-law graphs.  All five
+evaluated methods use this heuristic, so it lives in the graph substrate.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = ["Ordering", "degree_order_mapping", "apply_ordering"]
+
+
+class Ordering(str, Enum):
+    """Supported vertex-id orderings."""
+
+    NATURAL = "natural"
+    DEGREE = "degree"
+    REVERSE_DEGREE = "reverse-degree"  # ablation: the pessimal choice
+    RANDOM = "random"
+
+
+def degree_order_mapping(graph: Graph, *, reverse: bool = False) -> np.ndarray:
+    """Mapping ``old id -> new id`` sorting vertices by degree.
+
+    Ties break by original id, making the mapping deterministic.  With
+    ``reverse=True`` high-degree vertices get *low* ids (the pessimal
+    ordering, used by the ordering ablation benchmark).
+    """
+    degrees = graph.degrees()
+    if reverse:
+        degrees = -degrees
+    order = np.lexsort((np.arange(graph.num_vertices), degrees))
+    mapping = np.empty(graph.num_vertices, dtype=np.int64)
+    mapping[order] = np.arange(graph.num_vertices, dtype=np.int64)
+    return mapping
+
+
+def apply_ordering(
+    graph: Graph,
+    ordering: Ordering | str = Ordering.DEGREE,
+    *,
+    seed: int = 0,
+) -> tuple[Graph, np.ndarray]:
+    """Relabel *graph* under *ordering*; returns ``(graph, mapping)``.
+
+    ``mapping[old_id] == new_id``; for ``Ordering.NATURAL`` the mapping is
+    the identity and the input graph object is returned unchanged.
+    """
+    ordering = Ordering(ordering)
+    n = graph.num_vertices
+    if ordering is Ordering.NATURAL:
+        return graph, np.arange(n, dtype=np.int64)
+    if ordering is Ordering.DEGREE:
+        mapping = degree_order_mapping(graph)
+    elif ordering is Ordering.REVERSE_DEGREE:
+        mapping = degree_order_mapping(graph, reverse=True)
+    else:
+        rng = np.random.default_rng(seed)
+        mapping = rng.permutation(n).astype(np.int64)
+    return graph.relabel(mapping), mapping

@@ -1,0 +1,77 @@
+"""Triangle sinks and result records shared by all triangulation methods.
+
+The paper outputs triangles in a *nested representation*: all triangles
+sharing the same ``(u, v)`` prefix are emitted as one ``<u, v, {w1..wk}>``
+group (Section 3.2).  Sinks therefore receive ``(u, v, ws)`` groups rather
+than individual triples; a group with ``k`` completions denotes ``k``
+triangles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+__all__ = [
+    "CollectSink",
+    "CountSink",
+    "TriangleSink",
+    "TriangulationResult",
+    "canonical_triangles",
+]
+
+
+class TriangleSink(Protocol):
+    """Receiver for nested triangle groups ``<u, v, {w...}>``."""
+
+    def emit(self, u: int, v: int, ws: Sequence[int]) -> None:
+        """Record the triangles ``(u, v, w)`` for every ``w`` in *ws*."""
+
+
+class CountSink:
+    """Counts triangles without materializing them."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def emit(self, u: int, v: int, ws: Sequence[int]) -> None:
+        self.count += len(ws)
+
+
+class CollectSink:
+    """Collects every triangle as a sorted ``(u, v, w)`` tuple."""
+
+    def __init__(self) -> None:
+        self.triangles: list[tuple[int, int, int]] = []
+
+    def emit(self, u: int, v: int, ws: Sequence[int]) -> None:
+        for w in ws:
+            self.triangles.append(tuple(sorted((int(u), int(v), int(w)))))
+
+    @property
+    def count(self) -> int:
+        return len(self.triangles)
+
+
+def canonical_triangles(sink: CollectSink) -> list[tuple[int, int, int]]:
+    """Sorted list of canonical triangles collected by *sink*."""
+    return sorted(sink.triangles)
+
+
+@dataclass
+class TriangulationResult:
+    """Outcome of a triangulation run.
+
+    ``cpu_ops`` follows the paper's cost measure (intersection probes /
+    membership tests).  Disk methods additionally fill the I/O fields and
+    the per-iteration ``timeline``; in-memory methods leave them zero.
+    """
+
+    triangles: int
+    cpu_ops: int = 0
+    pages_read: int = 0
+    pages_written: int = 0
+    pages_buffered: int = 0
+    elapsed: float = 0.0
+    iterations: int = 0
+    extra: dict = field(default_factory=dict)

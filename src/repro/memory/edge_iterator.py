@@ -1,0 +1,77 @@
+"""EdgeIterator≻ — Algorithm 2 of the paper.
+
+For every edge ``(u, v)`` with ``id(u) < id(v)``, every common successor
+``w in n_succ(u) ∩ n_succ(v)`` completes the triangle ``(u, v, w)``.  The
+ordering constraint lists each triangle exactly once.  With the hash cost
+model, one edge costs ``min(|n_succ(u)|, |n_succ(v)|)`` operations and the
+total is ``O(alpha * |E|)`` (Eq. 2-5).
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import Graph
+from repro.memory.base import CountSink, TriangleSink, TriangulationResult
+from repro.util.intersect import (
+    IntersectionKernel,
+    intersect_count_ops,
+    intersect_sorted,
+    resolve_kernel,
+)
+
+__all__ = ["edge_iterator"]
+
+
+def edge_iterator(
+    graph: Graph,
+    sink: TriangleSink | None = None,
+    *,
+    kernel: IntersectionKernel | str = IntersectionKernel.NUMPY,
+) -> TriangulationResult:
+    """List all triangles of *graph* with EdgeIterator≻.
+
+    Parameters
+    ----------
+    graph:
+        The (already relabeled, if desired) input graph.
+    sink:
+        Optional receiver of nested ``<u, v, {w...}>`` groups; defaults to
+        a counting sink.
+    kernel:
+        Intersection strategy.  The default numpy kernel charges the
+        paper's analytic probe count; the reference kernels (merge, hash,
+        gallop) charge their own measured operation counts — used by the
+        kernel ablation benchmark.
+
+    Returns the triangle count and the CPU op count.
+    """
+    if sink is None:
+        sink = CountSink()
+    kernel = IntersectionKernel(kernel)
+    triangles = 0
+    ops = 0
+    if kernel is IntersectionKernel.NUMPY:
+        for u in range(graph.num_vertices):
+            succ_u = graph.n_succ(u)
+            if len(succ_u) == 0:
+                continue
+            for v in succ_u:
+                v = int(v)
+                succ_v = graph.n_succ(v)
+                ops += intersect_count_ops(len(succ_u), len(succ_v))
+                common = intersect_sorted(succ_u, succ_v)
+                if len(common):
+                    triangles += len(common)
+                    sink.emit(u, v, common.tolist())
+    else:
+        intersect = resolve_kernel(kernel)
+        for u in range(graph.num_vertices):
+            succ_u = graph.n_succ(u).tolist()
+            if not succ_u:
+                continue
+            for v in succ_u:
+                common, kernel_ops = intersect(succ_u, graph.n_succ(v).tolist())
+                ops += kernel_ops
+                if common:
+                    triangles += len(common)
+                    sink.emit(u, v, common)
+    return TriangulationResult(triangles=triangles, cpu_ops=ops)

@@ -1,0 +1,48 @@
+"""VertexIterator≻ — Algorithm 1 of the paper.
+
+For every vertex ``u``, every ordered pair ``(v, w)`` from
+``n_succ(u) × n_succ(u)`` with ``id(v) < id(w)`` is probed against the edge
+set.  One probe is one CPU operation, so vertex *u* costs
+``C(|n_succ(u)|, 2)`` operations — measurably more than EdgeIterator≻'s
+intersections (the paper observes ~20 % slower), while still listing each
+triangle exactly once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.memory.base import CountSink, TriangleSink, TriangulationResult
+from repro.util.intersect import HASH_PROBE_COST
+
+__all__ = ["vertex_iterator"]
+
+
+def vertex_iterator(graph: Graph, sink: TriangleSink | None = None) -> TriangulationResult:
+    """List all triangles of *graph* with VertexIterator≻.
+
+    The pair loop is vectorized: for each ``v`` in ``n_succ(u)`` the suffix
+    ``w > v`` of ``n_succ(u)`` is membership-tested against ``n(v)`` in one
+    ``isin`` call; the charged op count remains the per-pair probe count of
+    Algorithm 1.
+    """
+    if sink is None:
+        sink = CountSink()
+    triangles = 0
+    ops = 0
+    for u in range(graph.num_vertices):
+        succ_u = graph.n_succ(u)
+        k = len(succ_u)
+        if k < 2:
+            continue
+        for idx in range(k - 1):
+            v = int(succ_u[idx])
+            candidates = succ_u[idx + 1:]
+            ops += HASH_PROBE_COST * len(candidates)
+            hits = candidates[np.isin(candidates, graph.neighbors(v),
+                                      assume_unique=True)]
+            if len(hits):
+                triangles += len(hits)
+                sink.emit(u, v, hits.tolist())
+    return TriangulationResult(triangles=triangles, cpu_ops=ops)

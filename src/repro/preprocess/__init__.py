@@ -1,0 +1,11 @@
+"""Out-of-core graph preparation: external sort, degree remap, packing."""
+
+from repro.preprocess.build import BuildStats, build_store_external
+from repro.preprocess.external_sort import external_sort_edges, merge_runs
+
+__all__ = [
+    "BuildStats",
+    "build_store_external",
+    "external_sort_edges",
+    "merge_runs",
+]

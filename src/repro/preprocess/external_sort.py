@@ -1,0 +1,95 @@
+"""External merge sort for edge streams.
+
+Preparing a billion-edge graph for OPT (dedup, symmetrize, degree-order,
+pack into pages) cannot hold the edge list in memory; the standard
+database answer is an external merge sort: consume the input in bounded
+chunks, sort each chunk into a *run file*, then k-way merge the runs.
+
+Runs are flat little-endian ``u32`` pair files, so a run of ``n`` edges
+is exactly ``8 n`` bytes and merging streams it sequentially.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import StorageError
+
+__all__ = ["external_sort_edges", "merge_runs", "read_run", "write_run"]
+
+_PAIR = struct.Struct("<II")
+
+
+def write_run(path: Path, edges: list[tuple[int, int]]) -> None:
+    """Write one sorted run file."""
+    with path.open("wb") as handle:
+        for u, v in edges:
+            handle.write(_PAIR.pack(u, v))
+
+
+def read_run(path: Path, *, buffer_edges: int = 4096) -> Iterator[tuple[int, int]]:
+    """Stream a run file back as ``(u, v)`` pairs."""
+    with path.open("rb") as handle:
+        while True:
+            blob = handle.read(_PAIR.size * buffer_edges)
+            if not blob:
+                return
+            if len(blob) % _PAIR.size:
+                raise StorageError(f"{path}: truncated run file")
+            for offset in range(0, len(blob), _PAIR.size):
+                yield _PAIR.unpack_from(blob, offset)
+
+
+def external_sort_edges(
+    edges: Iterable[tuple[int, int]],
+    work_dir: str | Path,
+    *,
+    chunk_edges: int = 65536,
+) -> list[Path]:
+    """Phase 1: split *edges* into sorted, deduplicated run files.
+
+    Each run holds at most *chunk_edges* edges — the memory bound.  Edges
+    are canonicalized to ``(min, max)`` and self loops dropped, so the
+    merged output is a simple undirected edge list.
+    """
+    if chunk_edges < 1:
+        raise StorageError("chunk_edges must be positive")
+    work_dir = Path(work_dir)
+    work_dir.mkdir(parents=True, exist_ok=True)
+    runs: list[Path] = []
+    chunk: list[tuple[int, int]] = []
+
+    def flush() -> None:
+        if not chunk:
+            return
+        chunk.sort()
+        deduped = [chunk[0]]
+        for edge in chunk[1:]:
+            if edge != deduped[-1]:
+                deduped.append(edge)
+        path = work_dir / f"run-{len(runs):05d}.edges"
+        write_run(path, deduped)
+        runs.append(path)
+        chunk.clear()
+
+    for u, v in edges:
+        if u == v:
+            continue
+        chunk.append((u, v) if u < v else (v, u))
+        if len(chunk) >= chunk_edges:
+            flush()
+    flush()
+    return runs
+
+
+def merge_runs(runs: list[Path]) -> Iterator[tuple[int, int]]:
+    """Phase 2: k-way merge of sorted runs, deduplicating across runs."""
+    streams = [read_run(path) for path in runs]
+    previous: tuple[int, int] | None = None
+    for edge in heapq.merge(*streams):
+        if edge != previous:
+            yield edge
+            previous = edge

@@ -1,0 +1,19 @@
+"""Discrete-event simulation of multi-core CPU + FlashSSD execution."""
+
+from repro.sim.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.sim.schedule import IterationTiming, SimResult, simulate
+from repro.sim.trace import ExternalRead, IterationTrace, RunTrace
+from repro.sim.trace_io import load_trace, save_trace
+
+__all__ = [
+    "DEFAULT_COST_MODEL",
+    "CostModel",
+    "ExternalRead",
+    "IterationTiming",
+    "IterationTrace",
+    "RunTrace",
+    "SimResult",
+    "simulate",
+    "save_trace",
+    "load_trace",
+]

@@ -1,0 +1,83 @@
+"""Cost model unifying CPU and I/O in simulated seconds.
+
+The paper's analysis (Section 3.3) expresses I/O in pages and CPU in
+intersection operations, linked by the constant ``c`` = (cost of reading
+one page) / (cost of one CPU operation).  The model below fixes both unit
+costs; its defaults are calibrated so that triangulation is CPU bound
+(CPU : I/O roughly 5:1 .. 25:1 across the stand-in datasets), matching the
+regime the paper reports for a FlashSSD-equipped PC.
+
+``channels`` models the FlashSSD's internal parallelism: the device can
+serve that many outstanding page reads concurrently ("full parallelism of
+FlashSSD I/O").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Unit costs for the simulated execution.
+
+    Attributes
+    ----------
+    page_read_time:
+        Seconds to serve one page read (4 KiB random read on the Flash).
+    page_write_time:
+        Seconds to persist one page on the output device.
+    op_time:
+        Seconds per CPU operation (one intersection probe).
+    channels:
+        Number of page reads the Flash device serves concurrently.
+    """
+
+    page_read_time: float = 50e-6
+    page_write_time: float = 60e-6
+    op_time: float = 100e-9
+    channels: int = 8
+    #: Candidate identification scans records linearly; one scanned
+    #: neighbor costs this fraction of a full intersection probe.
+    candidate_op_factor: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.page_read_time <= 0 or self.op_time <= 0 or self.page_write_time <= 0:
+            raise ConfigurationError("cost model times must be positive")
+        if self.channels < 1:
+            raise ConfigurationError("channels must be >= 1")
+        if self.candidate_op_factor < 0:
+            raise ConfigurationError("candidate_op_factor must be >= 0")
+
+    @property
+    def c(self) -> float:
+        """The paper's constant ``c``: page-read cost in CPU operations."""
+        return self.page_read_time / self.op_time
+
+    @property
+    def c_effective(self) -> float:
+        """``c`` per page when the device streams on all channels.
+
+        The analytic cost equations use this so they describe the same
+        machine the discrete-event scheduler simulates.
+        """
+        return self.c / self.channels
+
+    def cpu(self, ops: int) -> float:
+        """Seconds of CPU time for *ops* operations."""
+        return ops * self.op_time
+
+    def read_io(self, pages: int) -> float:
+        """Seconds of device time to read *pages* pages (single channel)."""
+        return pages * self.page_read_time
+
+    def with_(self, **overrides) -> "CostModel":
+        """A copy of the model with *overrides* applied."""
+        return replace(self, **overrides)
+
+
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,286 @@
+"""Discrete-event replay of a run trace on simulated cores + FlashSSD.
+
+Given a :class:`~repro.sim.trace.RunTrace` (the measured workload of a
+real algorithm execution) and a :class:`~repro.sim.costmodel.CostModel`,
+the scheduler reproduces the paper's execution structure:
+
+* **iteration barriers** — Algorithm 3 waits for the internal fill
+  (line 8) and for the external triangulation (line 11), so iterations
+  are simulated independently and summed;
+* **micro overlap** — external page reads are served by the Flash device
+  (with ``channels`` internal parallelism) while workers process already
+  arrived pages; at most ``m_ex`` requests are outstanding, and finishing
+  one page's callback work issues the next request (Algorithm 9);
+* **macro overlap** — with ``cores >= 2`` the internal page tasks and the
+  external callbacks proceed concurrently on different workers;
+* **thread morphing** — when enabled, a worker whose own queue is empty
+  steals from the other queue; when disabled, roles are fixed (``cores-1``
+  internal workers, one callback worker), reproducing Figure 4's idle
+  phases;
+* **serial mode** (``OPT_serial``) — one worker, macro overlap disabled
+  (all internal work first), micro overlap retained.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.sim.costmodel import CostModel
+from repro.sim.trace import ExternalRead, IterationTrace, RunTrace
+
+__all__ = ["IterationTiming", "SimResult", "simulate"]
+
+
+@dataclass
+class IterationTiming:
+    """Timing of one simulated iteration."""
+
+    fill_time: float
+    elapsed: float
+    internal_time: float  # span spent on internal work after the fill
+    external_time: float  # span spent on external work after the fill
+    internal_busy: float  # summed worker-seconds of internal CPU
+    external_busy: float  # summed worker-seconds of external CPU
+    device_reads: int
+
+
+@dataclass
+class SimResult:
+    """Outcome of replaying a trace under one configuration."""
+
+    elapsed: float
+    cores: int
+    morphing: bool
+    serial: bool
+    iterations: list[IterationTiming] = field(default_factory=list)
+    cpu_time: float = 0.0  # parallelizable intersection CPU (worker-seconds)
+    read_io_time: float = 0.0  # device-seconds spent reading
+
+    @property
+    def parallel_fraction(self) -> float:
+        """Amdahl parallel fraction: intersection CPU over total elapsed.
+
+        Meaningful when computed on a 1-core result (the paper's ``p``).
+        """
+        if self.elapsed <= 0:
+            return 0.0
+        return min(1.0, self.cpu_time / self.elapsed)
+
+
+_ARRIVE = 0
+_FREE = 1
+
+
+def _stream_time(pages: int, cost: CostModel) -> float:
+    """Pipelined bulk-read time: ceil(n / channels) read latencies.
+
+    A single page still costs one full latency — the device's channel
+    parallelism cannot split one request.
+    """
+    if pages <= 0:
+        return 0.0
+    return -(-pages // cost.channels) * cost.page_read_time
+
+
+def _simulate_sync_iteration(
+    iteration: IterationTrace, cost: CostModel, cores: int
+) -> IterationTiming:
+    """Synchronous external I/O: streamed reads, then CPU, no overlap."""
+    fill_io = _stream_time(iteration.fill_reads, cost)
+    candidate_cpu = cost.cpu(iteration.candidate_ops) * cost.candidate_op_factor
+    t_fill = fill_io + candidate_cpu
+    internal_cpu = cost.cpu(iteration.internal_ops)
+    external_io = _stream_time(iteration.external_device_reads, cost)
+    external_cpu = cost.cpu(iteration.external_ops)
+    elapsed = t_fill + internal_cpu + external_io + external_cpu
+    return IterationTiming(
+        fill_time=t_fill,
+        elapsed=elapsed,
+        internal_time=internal_cpu,
+        external_time=external_io + external_cpu,
+        internal_busy=internal_cpu,
+        external_busy=external_cpu,
+        device_reads=iteration.fill_reads + iteration.external_device_reads,
+    )
+
+
+def _simulate_iteration(
+    iteration: IterationTrace,
+    m_ex: int,
+    cost: CostModel,
+    cores: int,
+    morphing: bool,
+    serial: bool,
+) -> IterationTiming:
+    latency = cost.page_read_time
+    fill_io = iteration.fill_reads * latency / cost.channels
+    candidate_cpu = cost.cpu(iteration.candidate_ops) * cost.candidate_op_factor
+    t_fill = max(fill_io, candidate_cpu)
+
+    internal = deque(cost.cpu(ops) for ops in iteration.internal_page_ops)
+    pending = deque(iteration.external_reads)
+    ready: deque[ExternalRead] = deque()
+    heap: list[tuple[float, int, int, object]] = []
+    seq = 0
+    channel_free = [t_fill] * cost.channels
+    device_reads = iteration.fill_reads
+
+    in_flight = 0
+
+    def issue_next(now: float) -> None:
+        nonlocal seq, device_reads, in_flight
+        if not pending:
+            return
+        read = pending.popleft()
+        in_flight += 1
+        if read.buffered:
+            heapq.heappush(heap, (now, seq, _ARRIVE, read))
+        else:
+            device_reads += 1
+            channel = min(range(cost.channels), key=channel_free.__getitem__)
+            done = max(channel_free[channel], now) + latency
+            channel_free[channel] = done
+            heapq.heappush(heap, (done, seq, _ARRIVE, read))
+        seq += 1
+
+    for _ in range(min(m_ex, len(pending))):
+        issue_next(t_fill)
+
+    # Worker roles: serial = one worker draining internal before external;
+    # parallel = one callback worker, cores-1 internal workers.
+    if serial or cores == 1:
+        roles = ["serial"]
+    else:
+        roles = ["int"] * (cores - 1) + ["ext"]
+    idle: list[int] = list(range(len(roles)))
+    internal_busy = external_busy = 0.0
+    internal_finish = external_finish = t_fill
+    now = t_fill
+
+    def pick(role: str) -> tuple[str, float, ExternalRead | None] | None:
+        if role == "serial":
+            if internal:
+                return "int", internal.popleft(), None
+            if ready:
+                read = ready.popleft()
+                return "ext", cost.cpu(read.cpu_ops), read
+            return None
+        if role == "int":
+            if internal:
+                return "int", internal.popleft(), None
+            if morphing and ready:
+                read = ready.popleft()
+                return "ext", cost.cpu(read.cpu_ops), read
+            return None
+        if ready:
+            read = ready.popleft()
+            return "ext", cost.cpu(read.cpu_ops), read
+        # The callback thread morphs into a main thread only when the
+        # external stream has *terminated* (paper Section 3.4) — stealing
+        # internal work while reads are in flight would stall the
+        # issue-on-completion pipeline of Algorithm 9.
+        if morphing and internal and not pending and in_flight == 0:
+            return "int", internal.popleft(), None
+        return None
+
+    guard = 0
+    limit = 10 * (len(internal) + len(pending) + 4) + 1000
+    while True:
+        guard += 1
+        if guard > limit and not heap:
+            raise SimulationError("scheduler failed to converge")
+        # Assign every idle worker a task available *now*.
+        assigned = True
+        while assigned and idle:
+            assigned = False
+            for worker in list(idle):
+                task = pick(roles[worker])
+                if task is None:
+                    continue
+                kind, duration, _read = task
+                done = now + duration
+                if kind == "int":
+                    internal_busy += duration
+                else:
+                    external_busy += duration
+                heapq.heappush(heap, (done, seq, _FREE, (worker, kind)))
+                seq += 1
+                idle.remove(worker)
+                assigned = True
+        if not heap:
+            if internal or ready or pending:
+                raise SimulationError(
+                    "work remains but no event can make progress"
+                )
+            break
+        now, _, event, payload = heapq.heappop(heap)
+        if event == _ARRIVE:
+            in_flight -= 1
+            ready.append(payload)  # type: ignore[arg-type]
+        else:
+            worker, kind = payload  # type: ignore[misc]
+            idle.append(worker)
+            if kind == "int":
+                internal_finish = max(internal_finish, now)
+            else:
+                external_finish = max(external_finish, now)
+                issue_next(now)
+
+    elapsed = max(internal_finish, external_finish, t_fill)
+    # Asynchronous output writes overlap compute; they only extend the
+    # iteration when the write device cannot keep up.
+    if iteration.output_pages:
+        write_time = t_fill + iteration.output_pages * cost.page_write_time
+        elapsed = max(elapsed, write_time)
+    return IterationTiming(
+        fill_time=t_fill,
+        elapsed=elapsed,
+        internal_time=max(0.0, internal_finish - t_fill),
+        external_time=max(0.0, external_finish - t_fill),
+        internal_busy=internal_busy,
+        external_busy=external_busy,
+        device_reads=device_reads,
+    )
+
+
+def simulate(
+    trace: RunTrace,
+    cost: CostModel,
+    *,
+    cores: int = 1,
+    morphing: bool = True,
+    serial: bool = False,
+) -> SimResult:
+    """Replay *trace* under the given configuration.
+
+    ``serial=True`` forces one core and disables macro overlap, yielding
+    the paper's ``OPT_serial``.  Returns elapsed simulated seconds plus
+    per-iteration timings (Figure 4's raw data).
+    """
+    if cores < 1:
+        raise SimulationError("cores must be >= 1")
+    if serial:
+        cores = 1
+    if trace.sync_external:
+        timings = [
+            _simulate_sync_iteration(iteration, cost, cores)
+            for iteration in trace.iterations
+        ]
+    else:
+        timings = [
+            _simulate_iteration(iteration, trace.m_ex, cost, cores, morphing, serial)
+            for iteration in trace.iterations
+        ]
+    result = SimResult(
+        elapsed=sum(t.elapsed for t in timings),
+        cores=cores,
+        morphing=morphing,
+        serial=serial,
+        iterations=timings,
+        cpu_time=cost.cpu(trace.total_ops),
+        read_io_time=cost.read_io(trace.total_device_reads),
+    )
+    return result

@@ -1,0 +1,97 @@
+"""Run traces: the workload record an engine hands to the scheduler.
+
+The OPT engines execute the *real* algorithm against the page store and,
+alongside the actual triangles, record what each iteration did: which
+pages the internal fill read (and which were buffer hits — the paper's
+``Δin``), the per-page CPU cost of the internal triangulation (Algorithm 5
+parallelizes "on the basis of pages", so a page is the unit of
+parallelism), and the ordered external read sequence with each page's
+callback CPU cost.
+
+A trace is engine-agnostic: the discrete-event scheduler replays it under
+any core count / morphing / serial configuration, which is how one
+algorithm run yields a whole speed-up curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExternalRead", "IterationTrace", "RunTrace"]
+
+
+@dataclass
+class ExternalRead:
+    """One external-area page request, in issue order."""
+
+    pid: int
+    cpu_ops: int
+    buffered: bool = False  # satisfied from the buffer pool, no device read
+
+
+@dataclass
+class IterationTrace:
+    """Everything one OPT iteration did, in schedulable form."""
+
+    fill_reads: int = 0
+    fill_buffered: int = 0
+    candidate_ops: int = 0
+    internal_page_ops: list[int] = field(default_factory=list)
+    external_reads: list[ExternalRead] = field(default_factory=list)
+    output_pages: int = 0
+
+    @property
+    def internal_ops(self) -> int:
+        return sum(self.internal_page_ops)
+
+    @property
+    def external_ops(self) -> int:
+        return sum(read.cpu_ops for read in self.external_reads)
+
+    @property
+    def external_device_reads(self) -> int:
+        return sum(1 for read in self.external_reads if not read.buffered)
+
+    @property
+    def external_buffered(self) -> int:
+        return sum(1 for read in self.external_reads if read.buffered)
+
+
+@dataclass
+class RunTrace:
+    """The full workload of one disk-based triangulation run."""
+
+    num_pages: int
+    m_in: int
+    m_ex: int
+    iterations: list[IterationTrace] = field(default_factory=list)
+    triangles: int = 0
+    #: Synchronous external I/O (the MGT mode): the device still streams
+    #: at full bandwidth, but CPU work never overlaps it.
+    sync_external: bool = False
+
+    @property
+    def total_ops(self) -> int:
+        """Total CPU operations (intersections only, the parallelizable part)."""
+        return sum(it.internal_ops + it.external_ops for it in self.iterations)
+
+    @property
+    def total_candidate_ops(self) -> int:
+        return sum(it.candidate_ops for it in self.iterations)
+
+    @property
+    def total_fill_reads(self) -> int:
+        return sum(it.fill_reads for it in self.iterations)
+
+    @property
+    def total_fill_buffered(self) -> int:
+        """The paper's ``Δin``: internal loads absorbed by buffered pages."""
+        return sum(it.fill_buffered for it in self.iterations)
+
+    @property
+    def total_external_reads(self) -> int:
+        return sum(it.external_device_reads for it in self.iterations)
+
+    @property
+    def total_device_reads(self) -> int:
+        return self.total_fill_reads + self.total_external_reads

@@ -1,0 +1,26 @@
+"""Storage substrate: slotted pages, page files, buffer manager, devices."""
+
+from repro.storage.buffer import BufferManager, Frame
+from repro.storage.faults import CorruptingPageFile, FlakyPageFile, corrupt_page_bytes
+from repro.storage.layout import GraphStore
+from repro.storage.page import DEFAULT_PAGE_SIZE, PageRecord, SlottedPage, record_capacity
+from repro.storage.pagefile import PageFile
+from repro.storage.ssd import SyncDevice, ThreadedSSD
+from repro.storage.writer import AsyncFile
+
+__all__ = [
+    "AsyncFile",
+    "DEFAULT_PAGE_SIZE",
+    "BufferManager",
+    "CorruptingPageFile",
+    "FlakyPageFile",
+    "Frame",
+    "GraphStore",
+    "PageFile",
+    "PageRecord",
+    "SlottedPage",
+    "SyncDevice",
+    "ThreadedSSD",
+    "corrupt_page_bytes",
+    "record_capacity",
+]

@@ -1,0 +1,88 @@
+"""Fault injection for the storage layer.
+
+Production storage code must fail loudly and recoverably; these wrappers
+let the test suite exercise exactly that: transient read errors (a retry
+should succeed), permanent errors (a run must abort with
+:class:`~repro.errors.DeviceError`), and silent page corruption (the
+slotted-page decoder must detect it rather than return garbage).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.errors import DeviceError
+from repro.storage.pagefile import PageFile
+
+__all__ = ["CorruptingPageFile", "FlakyPageFile", "corrupt_page_bytes"]
+
+
+def corrupt_page_bytes(data: bytes, *, seed: int = 0) -> bytes:
+    """Return *data* with its slot directory scrambled.
+
+    Overwrites the tail (where the slot offsets live) with out-of-range
+    values, which :meth:`SlottedPage.from_bytes` must reject.
+    """
+    rng = random.Random(seed)
+    corrupted = bytearray(data)
+    for index in range(1, min(9, len(corrupted)), 2):
+        corrupted[-index] = rng.randrange(200, 256)
+    return bytes(corrupted)
+
+
+class FlakyPageFile:
+    """A page file whose reads fail according to *should_fail*.
+
+    ``should_fail(pid, attempt)`` is consulted on every read; returning
+    true raises :class:`DeviceError`.  ``attempts`` counts reads per page
+    so tests can model transient faults ("fail the first two tries").
+    """
+
+    def __init__(self, inner: PageFile, should_fail: Callable[[int, int], bool]):
+        self._inner = inner
+        self._should_fail = should_fail
+        self.attempts: dict[int, int] = {}
+
+    @property
+    def page_size(self) -> int:
+        return self._inner.page_size
+
+    @property
+    def num_pages(self) -> int:
+        return self._inner.num_pages
+
+    def read_page(self, pid: int) -> bytes:
+        attempt = self.attempts.get(pid, 0)
+        self.attempts[pid] = attempt + 1
+        if self._should_fail(pid, attempt):
+            raise DeviceError(f"injected read fault on page {pid} "
+                              f"(attempt {attempt})")
+        return self._inner.read_page(pid)
+
+
+class CorruptingPageFile:
+    """A page file that silently corrupts the pages in *bad_pages*.
+
+    Models bit rot / torn writes: the read *succeeds* but the payload is
+    damaged, so detection is the decoder's job.
+    """
+
+    def __init__(self, inner: PageFile, bad_pages: set[int], *, seed: int = 0):
+        self._inner = inner
+        self._bad_pages = set(bad_pages)
+        self._seed = seed
+
+    @property
+    def page_size(self) -> int:
+        return self._inner.page_size
+
+    @property
+    def num_pages(self) -> int:
+        return self._inner.num_pages
+
+    def read_page(self, pid: int) -> bytes:
+        data = self._inner.read_page(pid)
+        if pid in self._bad_pages:
+            return corrupt_page_bytes(data, seed=self._seed + pid)
+        return data

@@ -1,0 +1,145 @@
+"""Slotted pages holding adjacency-list records.
+
+The paper stores ``(v, n(v))`` pairs in the slotted page structure familiar
+from database systems; adjacency lists larger than a page span a chain of
+continuation records across consecutive pages (Section 3.2, "Graph
+Representation in Disk").
+
+Binary layout of one page (little endian, ``page_size`` bytes):
+
+========  =====================================================
+offset    content
+========  =====================================================
+0..1      ``u16`` record count
+2..       records, packed consecutively
+tail      slot directory: ``u16`` offset per record, growing
+          backwards from the end of the page
+========  =====================================================
+
+Record layout: ``u32 vertex | u16 flags | u16 neighbor count | u32 * count
+neighbors``.  Flag bit 0 marks the *last* chunk of a vertex's adjacency
+list; a vertex whose list spans pages has every chunk except the final one
+with the bit clear.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PageFormatError, PageFullError
+
+__all__ = ["DEFAULT_PAGE_SIZE", "PageRecord", "SlottedPage", "record_capacity"]
+
+DEFAULT_PAGE_SIZE = 4096
+
+_HEADER = struct.Struct("<H")
+_SLOT = struct.Struct("<H")
+_RECORD_HEADER = struct.Struct("<IHH")
+_FLAG_LAST = 0x1
+
+
+@dataclass(frozen=True)
+class PageRecord:
+    """One adjacency-list chunk: ``vertex``'s neighbors, sorted ascending."""
+
+    vertex: int
+    neighbors: np.ndarray
+    is_last: bool
+
+    def __len__(self) -> int:
+        return len(self.neighbors)
+
+
+def record_capacity(page_size: int = DEFAULT_PAGE_SIZE) -> int:
+    """Maximum neighbor count of a single record on an empty page."""
+    usable = page_size - _HEADER.size - _SLOT.size - _RECORD_HEADER.size
+    return usable // 4
+
+
+class SlottedPage:
+    """A mutable in-memory slotted page; freeze with :meth:`to_bytes`."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE):
+        if page_size < _HEADER.size + _SLOT.size + _RECORD_HEADER.size + 4:
+            raise PageFormatError(f"page size {page_size} too small for any record")
+        if page_size > 0xFFFF:
+            raise PageFormatError("page size must fit u16 slot offsets")
+        self.page_size = page_size
+        self._records: list[PageRecord] = []
+        self._used = _HEADER.size
+
+    @property
+    def free_space(self) -> int:
+        """Bytes available for one more record (header + slot included)."""
+        slots = (len(self._records) + 1) * _SLOT.size
+        return self.page_size - self._used - slots
+
+    @property
+    def num_records(self) -> int:
+        return len(self._records)
+
+    def fits(self, neighbor_count: int) -> bool:
+        """Whether a record with *neighbor_count* neighbors fits."""
+        return self.free_space >= _RECORD_HEADER.size + 4 * neighbor_count
+
+    def max_neighbors_fitting(self) -> int:
+        """Largest neighbor count that still fits on this page (may be <= 0)."""
+        return (self.free_space - _RECORD_HEADER.size) // 4
+
+    def add_record(self, vertex: int, neighbors: np.ndarray, *, is_last: bool = True) -> None:
+        """Append an adjacency-list chunk; raises :class:`PageFullError`."""
+        neighbors = np.asarray(neighbors, dtype=np.int64)
+        if len(neighbors) and (neighbors.min() < 0 or neighbors.max() > 0xFFFFFFFF):
+            raise PageFormatError("neighbor ids must fit u32")
+        if not self.fits(len(neighbors)):
+            raise PageFullError(
+                f"record of {len(neighbors)} neighbors does not fit "
+                f"({self.free_space} bytes free)"
+            )
+        if len(neighbors) > 0xFFFF:
+            raise PageFormatError("record chunk exceeds u16 neighbor count")
+        self._records.append(PageRecord(int(vertex), neighbors, bool(is_last)))
+        self._used += _RECORD_HEADER.size + 4 * len(neighbors)
+
+    def records(self) -> list[PageRecord]:
+        """All records in insertion (= vertex id) order."""
+        return list(self._records)
+
+    def to_bytes(self) -> bytes:
+        """Serialize to exactly ``page_size`` bytes."""
+        buffer = bytearray(self.page_size)
+        _HEADER.pack_into(buffer, 0, len(self._records))
+        offset = _HEADER.size
+        for index, record in enumerate(self._records):
+            _SLOT.pack_into(buffer, self.page_size - _SLOT.size * (index + 1), offset)
+            flags = _FLAG_LAST if record.is_last else 0
+            _RECORD_HEADER.pack_into(buffer, offset, record.vertex, flags,
+                                     len(record.neighbors))
+            offset += _RECORD_HEADER.size
+            raw = record.neighbors.astype("<u4").tobytes()
+            buffer[offset:offset + len(raw)] = raw
+            offset += len(raw)
+        return bytes(buffer)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SlottedPage":
+        """Decode a page previously produced by :meth:`to_bytes`."""
+        page = cls(len(data))
+        (count,) = _HEADER.unpack_from(data, 0)
+        for index in range(count):
+            slot_pos = len(data) - _SLOT.size * (index + 1)
+            (offset,) = _SLOT.unpack_from(data, slot_pos)
+            if offset + _RECORD_HEADER.size > len(data):
+                raise PageFormatError(f"slot {index} points past page end")
+            vertex, flags, n_count = _RECORD_HEADER.unpack_from(data, offset)
+            start = offset + _RECORD_HEADER.size
+            end = start + 4 * n_count
+            if end > len(data):
+                raise PageFormatError(f"record {index} truncated")
+            neighbors = np.frombuffer(data, dtype="<u4", count=n_count,
+                                      offset=start).astype(np.int64)
+            page.add_record(vertex, neighbors, is_last=bool(flags & _FLAG_LAST))
+        return page

@@ -1,0 +1,102 @@
+"""Raw page files: fixed-size pages addressed by page id.
+
+A :class:`PageFile` is the on-disk body of a stored graph.  Page ids are
+zero-based and dense; the file length is always ``num_pages * page_size``.
+Reads use ``os.pread`` so concurrent readers (the ThreadedSSD pool) never
+contend on a shared file offset.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from pathlib import Path
+
+from repro.errors import StorageError
+
+__all__ = ["PageFile"]
+
+_MAGIC = b"OPTP"
+_HEADER = struct.Struct("<4sIQ")  # magic, page_size, num_pages
+
+
+class PageFile:
+    """A file of fixed-size pages with a small self-describing header."""
+
+    def __init__(self, path: str | Path, page_size: int, num_pages: int, fd: int):
+        self.path = Path(path)
+        self.page_size = page_size
+        self.num_pages = num_pages
+        self._fd = fd
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str | Path, pages: list[bytes], page_size: int) -> "PageFile":
+        """Write *pages* (each exactly *page_size* bytes) to a new file."""
+        path = Path(path)
+        for index, page in enumerate(pages):
+            if len(page) != page_size:
+                raise StorageError(
+                    f"page {index} is {len(page)} bytes, expected {page_size}"
+                )
+        with path.open("wb") as handle:
+            handle.write(_HEADER.pack(_MAGIC, page_size, len(pages)))
+            for page in pages:
+                handle.write(page)
+        return cls.open(path)
+
+    @classmethod
+    def open(cls, path: str | Path) -> "PageFile":
+        """Open an existing page file for reading."""
+        path = Path(path)
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            header = os.pread(fd, _HEADER.size, 0)
+            magic, page_size, num_pages = _HEADER.unpack(header)
+            if magic != _MAGIC:
+                raise StorageError(f"{path}: not a page file (magic {magic!r})")
+            expected = _HEADER.size + page_size * num_pages
+            actual = os.fstat(fd).st_size
+            if actual != expected:
+                raise StorageError(
+                    f"{path}: size {actual} != expected {expected} "
+                    f"({num_pages} pages of {page_size} bytes)"
+                )
+        except Exception:
+            os.close(fd)
+            raise
+        return cls(path, page_size, num_pages, fd)
+
+    def close(self) -> None:
+        """Release the file descriptor (idempotent)."""
+        if not self._closed:
+            os.close(self._fd)
+            self._closed = True
+
+    def __enter__(self) -> "PageFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except OSError:
+            pass
+
+    # -- access ---------------------------------------------------------------
+
+    def read_page(self, pid: int) -> bytes:
+        """Read page *pid*; thread-safe (uses ``pread``)."""
+        if self._closed:
+            raise StorageError("page file is closed")
+        if not 0 <= pid < self.num_pages:
+            raise StorageError(f"page id {pid} out of range [0, {self.num_pages})")
+        offset = _HEADER.size + pid * self.page_size
+        data = os.pread(self._fd, self.page_size, offset)
+        if len(data) != self.page_size:
+            raise StorageError(f"short read on page {pid}")
+        return data

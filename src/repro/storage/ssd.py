@@ -1,0 +1,179 @@
+"""FlashSSD access layers.
+
+Two device models implement the paper's ``AsyncRead(pid, Callback, Args)``
+primitive:
+
+* :class:`ThreadedSSD` — *real* asynchronous reads against an on-disk
+  :class:`~repro.storage.pagefile.PageFile`.  A pool of reader threads
+  issues ``os.pread`` calls (which release the GIL, so they genuinely
+  overlap with the main thread's CPU work) and a dedicated *callback
+  thread* runs completion callbacks in order — the same main-thread /
+  callback-thread split the paper describes.
+* :class:`SyncDevice` — synchronous reads with statistics; the substrate
+  for MGT-style methods that use blocking I/O, and the loader behind the
+  buffer manager.
+
+The *timing* model of the Flash device (latency, channel parallelism) is
+independent of these classes and lives in :mod:`repro.sim.device`.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Sequence
+
+from repro.errors import DeviceError
+from repro.storage.page import PageRecord, SlottedPage
+from repro.storage.pagefile import PageFile
+
+__all__ = ["SyncDevice", "ThreadedSSD"]
+
+
+class SyncDevice:
+    """Blocking page reader over a page file, with read accounting."""
+
+    def __init__(self, page_file: PageFile):
+        self._page_file = page_file
+        self.pages_read = 0
+
+    @property
+    def num_pages(self) -> int:
+        return self._page_file.num_pages
+
+    def read_page(self, pid: int) -> list[PageRecord]:
+        """Read and decode page *pid* synchronously."""
+        self.pages_read += 1
+        return SlottedPage.from_bytes(self._page_file.read_page(pid)).records()
+
+
+class ThreadedSSD:
+    """Asynchronous page reads with completion callbacks.
+
+    ``async_read(pid, callback, args)`` submits the read to a pool of
+    *io_workers* reader threads; on completion, ``callback(records, *args)``
+    runs on the single callback thread.  ``wait_idle()`` blocks until every
+    issued request has been read *and* its callback has returned — the
+    "wait until ... executions are finished" barriers of Algorithm 3.
+    """
+
+    _SHUTDOWN = object()
+
+    def __init__(self, page_file: PageFile, *, io_workers: int = 4):
+        if io_workers < 1:
+            raise DeviceError("io_workers must be >= 1")
+        self._page_file = page_file
+        self.pages_read = 0
+        self._read_queue: queue.Queue = queue.Queue()
+        self._callback_queue: queue.Queue = queue.Queue()
+        self._outstanding = 0
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._failure: BaseException | None = None
+        self._closed = False
+        self._readers = [
+            threading.Thread(target=self._reader_loop, name=f"ssd-reader-{i}",
+                             daemon=True)
+            for i in range(io_workers)
+        ]
+        self._callback_thread = threading.Thread(
+            target=self._callback_loop, name="ssd-callback", daemon=True
+        )
+        for thread in self._readers:
+            thread.start()
+        self._callback_thread.start()
+
+    @property
+    def num_pages(self) -> int:
+        return self._page_file.num_pages
+
+    # -- public API ---------------------------------------------------------
+
+    def async_read(
+        self,
+        pid: int,
+        callback: Callable[..., None],
+        args: Sequence = (),
+    ) -> None:
+        """Issue an asynchronous read of page *pid*.
+
+        On completion ``callback(records, *args)`` runs on the callback
+        thread.  Reads may complete out of submission order (the Flash
+        device serves its queue in parallel); callbacks are serialized.
+        """
+        if self._closed:
+            raise DeviceError("device is closed")
+        with self._lock:
+            self._outstanding += 1
+        self._read_queue.put((pid, callback, tuple(args)))
+
+    def wait_idle(self) -> None:
+        """Block until all issued reads and their callbacks are finished."""
+        with self._idle:
+            while self._outstanding > 0 and self._failure is None:
+                self._idle.wait()
+            if self._failure is not None:
+                failure, self._failure = self._failure, None
+                raise DeviceError("asynchronous read failed") from failure
+
+    def close(self) -> None:
+        """Stop worker threads (idempotent); pending work is drained first."""
+        if self._closed:
+            return
+        self.wait_idle()
+        self._closed = True
+        for _ in self._readers:
+            self._read_queue.put(self._SHUTDOWN)
+        self._callback_queue.put(self._SHUTDOWN)
+        for thread in self._readers:
+            thread.join(timeout=5)
+        self._callback_thread.join(timeout=5)
+
+    def __enter__(self) -> "ThreadedSSD":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- worker loops ------------------------------------------------------------
+
+    def _reader_loop(self) -> None:
+        while True:
+            item = self._read_queue.get()
+            if item is self._SHUTDOWN:
+                return
+            pid, callback, args = item
+            try:
+                raw = self._page_file.read_page(pid)
+                records = SlottedPage.from_bytes(raw).records()
+            except BaseException as exc:  # surface on wait_idle
+                self._fail(exc)
+                continue
+            with self._lock:
+                self.pages_read += 1
+            self._callback_queue.put((callback, records, args))
+
+    def _callback_loop(self) -> None:
+        while True:
+            item = self._callback_queue.get()
+            if item is self._SHUTDOWN:
+                return
+            callback, records, args = item
+            try:
+                callback(records, *args)
+            except BaseException as exc:
+                self._fail(exc)
+                continue
+            self._finish_one()
+
+    def _finish_one(self) -> None:
+        with self._idle:
+            self._outstanding -= 1
+            if self._outstanding <= 0:
+                self._idle.notify_all()
+
+    def _fail(self, exc: BaseException) -> None:
+        with self._idle:
+            self._failure = exc
+            self._outstanding -= 1
+            self._idle.notify_all()

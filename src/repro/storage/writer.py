@@ -1,0 +1,94 @@
+"""Asynchronous file writing.
+
+Table 3 of the paper credits OPT's low output-writing time to overlapping
+write I/O with CPU processing; :class:`AsyncFile` realizes that: a
+file-like object whose ``write`` enqueues the buffer and returns
+immediately, while a background thread drains the queue to disk
+(``write`` calls release the GIL, so the overlap is real).  Errors on the
+writer thread surface on the next ``write``/``close``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from pathlib import Path
+
+from repro.errors import DeviceError
+
+__all__ = ["AsyncFile"]
+
+
+class AsyncFile:
+    """A write-only file object with a background writer thread."""
+
+    _SHUTDOWN = object()
+
+    def __init__(self, path: str | Path, *, max_queued: int = 64):
+        self._handle = open(path, "wb")
+        self._queue: queue.Queue = queue.Queue(maxsize=max_queued)
+        self._failure: BaseException | None = None
+        self._closed = False
+        self.bytes_written = 0
+        self.chunks_written = 0
+        self._thread = threading.Thread(target=self._drain, name="async-writer",
+                                        daemon=True)
+        self._thread.start()
+
+    # -- file-like API -------------------------------------------------------
+
+    def write(self, data: bytes) -> int:
+        """Enqueue *data* for the writer thread; returns ``len(data)``."""
+        self._check()
+        if self._closed:
+            raise DeviceError("write after close")
+        self._queue.put(bytes(data))
+        return len(data)
+
+    def flush(self) -> None:
+        """Block until everything queued so far has reached the file."""
+        self._check()
+        self._queue.join()
+        self._check()
+        try:
+            self._handle.flush()
+        except (OSError, ValueError) as exc:
+            raise DeviceError("flush failed") from exc
+
+    def close(self) -> None:
+        """Drain the queue, stop the thread, close the file (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(self._SHUTDOWN)
+        self._thread.join(timeout=10)
+        self._handle.close()
+        self._check()
+
+    def __enter__(self) -> "AsyncFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- internals -------------------------------------------------------------
+
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is self._SHUTDOWN:
+                    return
+                try:
+                    self._handle.write(item)
+                    self.bytes_written += len(item)
+                    self.chunks_written += 1
+                except BaseException as exc:
+                    self._failure = exc
+            finally:
+                self._queue.task_done()
+
+    def _check(self) -> None:
+        if self._failure is not None:
+            failure, self._failure = self._failure, None
+            raise DeviceError("asynchronous write failed") from failure

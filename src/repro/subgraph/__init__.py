@@ -1,0 +1,6 @@
+"""Disk-based subgraph listing — the paper's stated future-work direction."""
+
+from repro.subgraph.fourclique import four_cliques_disk
+from repro.subgraph.kclique import KCliqueResult, k_cliques_disk
+
+__all__ = ["KCliqueResult", "four_cliques_disk", "k_cliques_disk"]

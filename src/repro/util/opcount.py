@@ -1,0 +1,60 @@
+"""Operation counters shared by engines and the cost model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OpCounter:
+    """Accumulates CPU operation and I/O page counts for one run.
+
+    The unit of ``cpu_ops`` is one intersection probe / hash membership
+    test, matching the paper's cost measure (Eq. 3).  I/O is counted in
+    pages, separated into reads actually served by the device and reads
+    absorbed by the buffer pool (the paper's saved I/O ``Δin``).
+    """
+
+    cpu_ops: int = 0
+    pages_read: int = 0
+    pages_written: int = 0
+    pages_buffered: int = 0  # read requests satisfied from the buffer (Δin)
+    triangles: int = 0
+    per_phase: dict[str, int] = field(default_factory=dict)
+
+    def add_ops(self, ops: int, phase: str | None = None) -> None:
+        """Add *ops* CPU operations, optionally attributed to *phase*."""
+        self.cpu_ops += ops
+        if phase is not None:
+            self.per_phase[phase] = self.per_phase.get(phase, 0) + ops
+
+    def add_read(self, pages: int = 1, buffered: bool = False) -> None:
+        """Record a page-read request; *buffered* reads cost no device I/O."""
+        if buffered:
+            self.pages_buffered += pages
+        else:
+            self.pages_read += pages
+
+    def add_write(self, pages: int = 1) -> None:
+        """Record *pages* written to the device."""
+        self.pages_written += pages
+
+    def merge(self, other: "OpCounter") -> None:
+        """Fold *other*'s counts into this counter."""
+        self.cpu_ops += other.cpu_ops
+        self.pages_read += other.pages_read
+        self.pages_written += other.pages_written
+        self.pages_buffered += other.pages_buffered
+        self.triangles += other.triangles
+        for phase, ops in other.per_phase.items():
+            self.per_phase[phase] = self.per_phase.get(phase, 0) + ops
+
+    def snapshot(self) -> dict[str, int]:
+        """Return a plain-dict copy of the scalar counters."""
+        return {
+            "cpu_ops": self.cpu_ops,
+            "pages_read": self.pages_read,
+            "pages_written": self.pages_written,
+            "pages_buffered": self.pages_buffered,
+            "triangles": self.triangles,
+        }

@@ -1,0 +1,19 @@
+"""Disk-based vertex-centric engine (GraphChi's Parallel Sliding Windows)."""
+
+from repro.vcengine.apps import (
+    ConnectedComponentsApp,
+    DegreeApp,
+    PageRankApp,
+    VertexUpdateApp,
+)
+from repro.vcengine.engine import DiskVCEngine, SuperstepIO
+from repro.vcengine.shards import ShardedGraph
+
+__all__ = [
+    "ConnectedComponentsApp",
+    "DiskVCEngine",
+    "PageRankApp",
+    "ShardedGraph",
+    "SuperstepIO",
+    "VertexUpdateApp",
+]

@@ -1,0 +1,96 @@
+"""Vertex-update applications for the disk-based engine.
+
+The update signature mirrors GraphChi's: a vertex sees its current value
+plus its in- and out-neighbor ids (through which it reads the shared
+value array, the asynchronous model).  Included apps:
+
+* :class:`ConnectedComponentsApp` — min-label propagation; converges to
+  one label per connected component.
+* :class:`PageRankApp` — damped PageRank over the out-degree-normalized
+  walk.
+* :class:`DegreeApp` — trivial one-step app used by tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ConnectedComponentsApp", "DegreeApp", "PageRankApp", "VertexUpdateApp"]
+
+
+class VertexUpdateApp(ABC):
+    """A vertex-centric program for :class:`~repro.vcengine.engine.DiskVCEngine`."""
+
+    @abstractmethod
+    def initial_value(self, v: int) -> float:
+        """Value of vertex *v* before the first superstep."""
+
+    @abstractmethod
+    def update(
+        self,
+        v: int,
+        values: np.ndarray,
+        in_neighbors: Sequence[int],
+        out_neighbors: Sequence[int],
+    ) -> float:
+        """Return vertex *v*'s new value."""
+
+
+class ConnectedComponentsApp(VertexUpdateApp):
+    """Label propagation: every vertex adopts its neighborhood minimum."""
+
+    def initial_value(self, v):
+        return float(v)
+
+    def update(self, v, values, in_neighbors, out_neighbors):
+        best = values[v]
+        for u in in_neighbors:
+            if values[u] < best:
+                best = values[u]
+        for u in out_neighbors:
+            if values[u] < best:
+                best = values[u]
+        return float(best)
+
+
+class PageRankApp(VertexUpdateApp):
+    """Damped PageRank; out-degrees are supplied up front (one metadata
+    pass, as GraphChi's implementation does)."""
+
+    def __init__(self, out_degrees: np.ndarray, damping: float = 0.85):
+        if not 0.0 < damping < 1.0:
+            raise ConfigurationError("damping must be in (0, 1)")
+        self.out_degrees = np.asarray(out_degrees, dtype=np.float64)
+        self.damping = damping
+        self._n = len(self.out_degrees)
+
+    def initial_value(self, v):
+        return 1.0 / max(self._n, 1)
+
+    def update(self, v, values, in_neighbors, out_neighbors):
+        gathered = 0.0
+        for u in in_neighbors:
+            degree = self.out_degrees[u]
+            if degree:
+                gathered += values[u] / degree
+        new_value = (1.0 - self.damping) / self._n + self.damping * gathered
+        # Converge to a fixed point: report "unchanged" below tolerance so
+        # the engine can terminate.
+        if abs(new_value - values[v]) < 1e-9:
+            return float(values[v])
+        return float(new_value)
+
+
+class DegreeApp(VertexUpdateApp):
+    """One-superstep app: each vertex's value becomes its degree."""
+
+    def initial_value(self, v):
+        return -1.0
+
+    def update(self, v, values, in_neighbors, out_neighbors):
+        return float(len(in_neighbors))

@@ -1,0 +1,92 @@
+"""Cross-method verification: every engine must list the same triangles.
+
+The strongest correctness statement this library makes is that all of its
+triangulation paths — four in-memory methods, three OPT plugins across
+buffer configurations, the real-thread engine, and the three disk
+baselines — agree exactly.  :func:`verify_methods` runs them all on one
+graph and reports the counts; the CLI exposes it as ``opt-repro verify``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.baselines import cc_ds, cc_seq, graphchi_tri, mgt
+from repro.core import make_store, triangulate_disk, triangulate_threaded
+from repro.graph.graph import Graph
+from repro.memory import (
+    compact_forward,
+    edge_iterator,
+    forward,
+    matrix_count,
+    vertex_iterator,
+)
+from repro.sim import DEFAULT_COST_MODEL, CostModel
+from repro.storage.page import DEFAULT_PAGE_SIZE
+
+__all__ = ["VerificationReport", "verify_methods"]
+
+
+@dataclass
+class VerificationReport:
+    """Triangle counts per method plus the agreement verdict."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def consistent(self) -> bool:
+        return len(set(self.counts.values())) <= 1
+
+    @property
+    def expected(self) -> int:
+        return next(iter(self.counts.values()), 0)
+
+    def disagreements(self) -> dict[str, int]:
+        """Methods whose count differs from the majority."""
+        if self.consistent or not self.counts:
+            return {}
+        values = list(self.counts.values())
+        majority = max(set(values), key=values.count)
+        return {name: count for name, count in self.counts.items()
+                if count != majority}
+
+
+def verify_methods(
+    graph: Graph,
+    *,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    buffer_pages: int = 8,
+    cost: CostModel = DEFAULT_COST_MODEL,
+    include_threaded: bool = True,
+) -> VerificationReport:
+    """Run every triangulation path on *graph* and compare counts."""
+    report = VerificationReport()
+    report.counts["edge-iterator"] = edge_iterator(graph).triangles
+    report.counts["vertex-iterator"] = vertex_iterator(graph).triangles
+    report.counts["forward"] = forward(graph).triangles
+    report.counts["compact-forward"] = compact_forward(graph).triangles
+    report.counts["matrix"] = matrix_count(graph).triangles
+
+    store = make_store(graph, page_size)
+    for plugin in ("edge-iterator", "vertex-iterator", "mgt"):
+        result = triangulate_disk(store, plugin=plugin,
+                                  buffer_pages=buffer_pages, cost=cost)
+        report.counts[f"opt:{plugin}"] = result.triangles
+
+    report.counts["cc-seq"] = cc_seq(
+        graph, buffer_pages=buffer_pages, page_size=page_size, cost=cost
+    ).triangles
+    report.counts["cc-ds"] = cc_ds(
+        graph, buffer_pages=buffer_pages, page_size=page_size, cost=cost
+    ).triangles
+    report.counts["graphchi"] = graphchi_tri(
+        graph, buffer_pages=buffer_pages, page_size=page_size, cost=cost
+    ).triangles
+
+    if include_threaded:
+        with tempfile.TemporaryDirectory() as directory:
+            result = triangulate_threaded(store, directory,
+                                          buffer_pages=buffer_pages)
+        report.counts["opt:threaded"] = result.triangles
+    return report

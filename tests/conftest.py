@@ -1,0 +1,41 @@
+"""Shared fixtures: small graphs with independently known triangle counts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.ordering import apply_ordering
+
+
+@pytest.fixture(scope="session")
+def figure1():
+    """The paper's Figure 1 example graph (5 triangles)."""
+    return generators.figure1_graph()
+
+
+@pytest.fixture(scope="session")
+def small_rmat():
+    """A small R-MAT graph for cross-method comparisons."""
+    return generators.rmat(400, 3000, seed=5)
+
+
+@pytest.fixture(scope="session")
+def small_rmat_ordered(small_rmat):
+    graph, _ = apply_ordering(small_rmat, "degree")
+    return graph
+
+
+@pytest.fixture(scope="session")
+def clustered_graph():
+    """A Holme-Kim graph with substantial clustering."""
+    return generators.holme_kim(300, 6, 0.5, seed=6)
+
+
+def nx_triangle_count(graph):
+    """Ground-truth triangle count via networkx."""
+    import networkx as nx
+
+    nxg = nx.Graph(list(graph.edges()))
+    nxg.add_nodes_from(range(graph.num_vertices))
+    return sum(nx.triangles(nxg).values()) // 3

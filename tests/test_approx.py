@@ -1,0 +1,90 @@
+"""Tests for the approximate triangle counters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.approx import doulion, wedge_sampling
+from repro.errors import ConfigurationError
+from repro.graph import generators
+from repro.memory import edge_iterator
+
+
+@pytest.fixture(scope="module")
+def dense_graph():
+    return generators.holme_kim(500, 8, 0.5, seed=13)
+
+
+class TestDoulion:
+    def test_p_one_is_exact(self, dense_graph):
+        exact = edge_iterator(dense_graph).triangles
+        estimate = doulion(dense_graph, 1.0, seed=0)
+        assert estimate.estimate == exact
+        assert estimate.sampled_edges == dense_graph.num_edges
+
+    def test_unbiased_across_seeds(self, dense_graph):
+        exact = edge_iterator(dense_graph).triangles
+        estimates = [doulion(dense_graph, 0.5, seed=s).estimate for s in range(12)]
+        mean = float(np.mean(estimates))
+        assert abs(mean - exact) < 0.25 * exact
+
+    def test_sampling_reduces_work(self, dense_graph):
+        full = edge_iterator(dense_graph).cpu_ops
+        sampled = doulion(dense_graph, 0.3, seed=1)
+        assert sampled.cpu_ops < 0.5 * full
+        assert sampled.sampled_edges < 0.45 * dense_graph.num_edges
+
+    def test_validation(self, dense_graph):
+        with pytest.raises(ConfigurationError):
+            doulion(dense_graph, 0.0)
+        with pytest.raises(ConfigurationError):
+            doulion(dense_graph, 1.5)
+
+    def test_deterministic_per_seed(self, dense_graph):
+        a = doulion(dense_graph, 0.4, seed=7)
+        b = doulion(dense_graph, 0.4, seed=7)
+        assert a.estimate == b.estimate
+
+
+class TestWedgeSampling:
+    def test_reasonable_accuracy(self, dense_graph):
+        exact = edge_iterator(dense_graph).triangles
+        estimate = wedge_sampling(dense_graph, 4000, seed=0)
+        assert abs(estimate.estimate - exact) < 0.3 * exact
+
+    def test_confidence_interval_brackets(self, dense_graph):
+        exact = edge_iterator(dense_graph).triangles
+        hits = 0
+        for seed in range(10):
+            estimate = wedge_sampling(dense_graph, 2000, seed=seed)
+            lo, hi = estimate.confidence_interval
+            hits += lo <= exact <= hi
+        assert hits >= 8  # ~95% nominal coverage
+
+    def test_error_shrinks_with_samples(self, dense_graph):
+        small = wedge_sampling(dense_graph, 200, seed=3)
+        large = wedge_sampling(dense_graph, 5000, seed=3)
+        assert large.standard_error < small.standard_error
+
+    def test_triangle_free(self):
+        graph = generators.cycle_graph(40)
+        estimate = wedge_sampling(graph, 500, seed=0)
+        assert estimate.estimate == 0.0
+        assert estimate.closed_fraction == 0.0
+
+    def test_no_wedges(self):
+        from repro.graph.builder import from_edges
+
+        graph = from_edges([(0, 1)], num_vertices=2)
+        assert wedge_sampling(graph, 100).estimate == 0.0
+
+    def test_validation(self, dense_graph):
+        with pytest.raises(ConfigurationError):
+            wedge_sampling(dense_graph, 0)
+
+    def test_complete_graph_fraction_one(self):
+        graph = generators.complete_graph(12)
+        estimate = wedge_sampling(graph, 500, seed=1)
+        assert estimate.closed_fraction == 1.0
+        assert estimate.estimate == pytest.approx(220)  # C(12, 3)

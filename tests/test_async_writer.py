@@ -1,0 +1,75 @@
+"""Tests for the asynchronous file writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import NestedOutputWriter, triangulate_disk
+from repro.core.result_store import TriangleStore
+from repro.errors import DeviceError
+from repro.storage.writer import AsyncFile
+
+
+class TestAsyncFile:
+    def test_content_matches_sync(self, tmp_path):
+        chunks = [bytes([i]) * (i + 1) for i in range(50)]
+        sync_path = tmp_path / "sync.bin"
+        async_path = tmp_path / "async.bin"
+        with open(sync_path, "wb") as handle:
+            for chunk in chunks:
+                handle.write(chunk)
+        with AsyncFile(async_path) as handle:
+            for chunk in chunks:
+                handle.write(chunk)
+        assert async_path.read_bytes() == sync_path.read_bytes()
+
+    def test_stats(self, tmp_path):
+        with AsyncFile(tmp_path / "s.bin") as handle:
+            handle.write(b"abc")
+            handle.write(b"defg")
+            handle.flush()
+            assert handle.bytes_written == 7
+            assert handle.chunks_written == 2
+
+    def test_write_after_close(self, tmp_path):
+        handle = AsyncFile(tmp_path / "c.bin")
+        handle.close()
+        with pytest.raises(DeviceError):
+            handle.write(b"late")
+
+    def test_close_idempotent(self, tmp_path):
+        handle = AsyncFile(tmp_path / "i.bin")
+        handle.write(b"x")
+        handle.close()
+        handle.close()
+        assert (tmp_path / "i.bin").read_bytes() == b"x"
+
+    def test_error_surfaces(self, tmp_path):
+        handle = AsyncFile(tmp_path / "e.bin")
+        # Closing the underlying handle behind the writer's back makes
+        # the next background write fail; the error must surface.
+        handle._handle.close()
+        handle.write(b"doomed")
+        with pytest.raises(DeviceError):
+            handle.flush()
+        handle._closed = True  # avoid double-close of the inner handle
+
+    def test_backpressure_bounded_queue(self, tmp_path):
+        with AsyncFile(tmp_path / "b.bin", max_queued=2) as handle:
+            for _ in range(100):
+                handle.write(b"y" * 1024)
+        assert (tmp_path / "b.bin").stat().st_size == 100 * 1024
+
+
+class TestAsyncNestedOutput:
+    def test_nested_output_through_async_file(self, tmp_path, small_rmat_ordered):
+        """OPT's triangle stream written through the async device."""
+        path = tmp_path / "triangles.nested"
+        async_handle = AsyncFile(path)
+        writer = NestedOutputWriter(async_handle, page_size=512)
+        result = triangulate_disk(small_rmat_ordered, page_size=256,
+                                  buffer_pages=6, sink=writer)
+        writer.close()
+        async_handle.close()
+        store = TriangleStore.from_file(path)
+        assert len(store) == result.triangles

@@ -1,0 +1,92 @@
+"""Stateful property test: the buffer manager under random operation mixes.
+
+A hypothesis rule-based machine drives get/pin/unpin/flush sequences and
+checks the invariants a buffer pool must never violate: capacity is
+respected, pinned pages are never evicted, pin counts never go negative,
+and page contents always come from the loader exactly once per residency.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.errors import BufferError_
+from repro.storage.buffer import BufferManager
+
+CAPACITY = 4
+PAGE_IDS = st.integers(0, 9)
+
+
+class BufferMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.loads: list[int] = []
+        self.buffer = BufferManager(CAPACITY, loader=self._load)
+        self.pins: dict[int, int] = {}
+
+    def _load(self, pid: int) -> list:
+        self.loads.append(pid)
+        return [f"page-{pid}"]
+
+    @rule(pid=PAGE_IDS)
+    def get(self, pid):
+        if (
+            len(self.buffer.resident_pages()) >= CAPACITY
+            and pid not in self.buffer
+            and sum(1 for c in self.pins.values() if c > 0) >= CAPACITY
+        ):
+            return  # would need an eviction with everything pinned
+        frame = self.buffer.get(pid)
+        assert frame.records == [f"page-{pid}"]
+
+    @rule(pid=PAGE_IDS)
+    def get_pinned(self, pid):
+        resident_pinned = sum(1 for c in self.pins.values() if c > 0)
+        if pid not in self.buffer and resident_pinned >= CAPACITY:
+            return
+        self.buffer.get(pid, pin=True)
+        self.pins[pid] = self.pins.get(pid, 0) + 1
+
+    @rule(pid=PAGE_IDS)
+    def unpin(self, pid):
+        if self.pins.get(pid, 0) > 0:
+            self.buffer.unpin(pid)
+            self.pins[pid] -= 1
+        else:
+            try:
+                self.buffer.unpin(pid)
+            except BufferError_:
+                pass
+            else:  # pragma: no cover - would be a bug
+                raise AssertionError("over-unpin must raise")
+
+    @rule()
+    def flush(self):
+        self.buffer.flush()
+        # Flushing drops only unpinned pages.
+        for pid, count in self.pins.items():
+            if count > 0:
+                assert pid in self.buffer
+
+    @invariant()
+    def capacity_respected(self):
+        assert self.buffer.num_resident <= CAPACITY
+
+    @invariant()
+    def pinned_pages_resident(self):
+        for pid, count in self.pins.items():
+            if count > 0:
+                assert pid in self.buffer, f"pinned page {pid} was evicted"
+
+    @invariant()
+    def stats_consistent(self):
+        assert self.buffer.hits + self.buffer.misses >= len(self.loads)
+        assert self.buffer.misses == len(self.loads)
+
+
+TestBufferStateful = BufferMachine.TestCase
+TestBufferStateful.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.graph.io import read_edge_list
+
+
+class TestGenerate:
+    def test_generate_edge_list(self, tmp_path, capsys):
+        out = tmp_path / "g.txt"
+        code = main(["generate", "--model", "rmat", "--vertices", "64",
+                     "--edges", "200", "--output", str(out)])
+        assert code == 0
+        graph = read_edge_list(out)
+        assert graph.num_vertices <= 64
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_binary(self, tmp_path):
+        out = tmp_path / "g.bin"
+        assert main(["generate", "--model", "holme-kim", "--vertices", "50",
+                     "--attach", "3", "--output", str(out)]) == 0
+        assert out.exists()
+
+
+class TestTriangulate:
+    @pytest.fixture()
+    def graph_file(self, tmp_path, figure1):
+        from repro.graph.io import write_edge_list
+
+        path = tmp_path / "fig1.txt"
+        write_edge_list(figure1, path)
+        return path
+
+    @pytest.mark.parametrize(
+        "method", ["opt", "opt-vi", "mgt", "cc-seq", "graphchi",
+                   "edge-iterator", "matrix"],
+    )
+    def test_methods_run(self, graph_file, capsys, method):
+        code = main(["triangulate", "--input", str(graph_file),
+                     "--method", method, "--page-size", "128"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "triangles" in out
+        assert "5" in out
+
+    def test_dataset_input(self, capsys):
+        code = main(["triangulate", "--dataset", "LJ", "--method",
+                     "edge-iterator"])
+        assert code == 0
+        assert "triangles" in capsys.readouterr().out
+
+    def test_unknown_dataset_fails_cleanly(self, capsys):
+        code = main(["triangulate", "--dataset", "NOPE", "--method", "opt"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestLayoutCommand:
+    def test_layout_packs_store(self, tmp_path, capsys):
+        from repro.storage import GraphStore
+
+        graph_path = tmp_path / "g.txt"
+        assert main(["generate", "--model", "rmat", "--vertices", "100",
+                     "--edges", "500", "--output", str(graph_path)]) == 0
+        out_dir = tmp_path / "store"
+        code = main(["layout", "--input", str(graph_path),
+                     "--output", str(out_dir), "--page-size", "512"])
+        assert code == 0
+        store = GraphStore.load(out_dir)
+        assert store.num_pages > 0
+        assert "packed" in capsys.readouterr().out
+
+
+class TestCliquesCommand:
+    def test_cliques_on_complete_graph(self, tmp_path, capsys):
+        from repro.graph.generators import complete_graph
+        from repro.graph.io import write_edge_list
+
+        path = tmp_path / "k6.txt"
+        write_edge_list(complete_graph(6), path)
+        assert main(["cliques", "--input", str(path), "--k", "4"]) == 0
+        assert "15" in capsys.readouterr().out  # C(6, 4)
+
+
+class TestVerifyCommand:
+    def test_verify_agrees(self, tmp_path, capsys):
+        from repro.graph.io import write_edge_list
+
+        from repro.graph.generators import figure1_graph
+
+        path = tmp_path / "fig1.txt"
+        write_edge_list(figure1_graph(), path)
+        code = main(["verify", "--input", str(path), "--page-size", "128",
+                     "--buffer-pages", "4", "--skip-threaded"])
+        assert code == 0
+        assert "agree" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_report_assembles(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table2_datasets.txt").write_text("table body")
+        output = tmp_path / "report.md"
+        code = main(["report", "--results-dir", str(results),
+                     "--output", str(output)])
+        assert code == 0
+        assert "table body" in output.read_text()
+
+
+class TestInfoCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("LJ", "ORKUT", "TWITTER", "UK", "YAHOO"):
+            assert name in out
+
+    def test_metrics(self, tmp_path, figure1, capsys):
+        from repro.graph.io import write_edge_list
+
+        path = tmp_path / "fig1.txt"
+        write_edge_list(figure1, path)
+        assert main(["metrics", "--input", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "clustering coefficient" in out

@@ -1,0 +1,57 @@
+"""Tests for the experiments-as-library registry.
+
+The heavyweight experiments run under ``pytest benchmarks/``; here we
+test the registry machinery and run the two cheapest experiments end to
+end to ensure the library path works outside pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentResult, experiment_names, run_experiment
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        names = experiment_names()
+        for expected in ("table2", "table3", "table4", "table6", "table7",
+                         "fig3a", "fig3b", "fig4", "fig5", "fig6",
+                         "fig7a", "fig7b", "fig7c"):
+            assert expected in names
+
+    def test_order_follows_the_paper(self):
+        names = experiment_names()
+        assert names.index("table2") < names.index("fig3a")
+        assert names.index("fig4") < names.index("fig6")
+        assert names.index("table6") < names.index("table7")
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestExperimentResult:
+    def test_check_records_on_success(self):
+        result = ExperimentResult("demo", "text")
+        result.check(True, "claim holds")
+        assert result.checks == ["claim holds"]
+
+    def test_check_raises_on_failure(self):
+        result = ExperimentResult("demo", "text")
+        with pytest.raises(AssertionError, match="demo.*failed claim"):
+            result.check(False, "claim fails")
+
+
+class TestCheapExperimentsEndToEnd:
+    def test_table2_runs(self):
+        result = run_experiment("table2")
+        assert "Table 2" in result.text
+        assert result.checks
+        assert len(result.data["rows"]) == 5
+
+    def test_fig4_runs(self):
+        result = run_experiment("fig4")
+        assert "Figure 4" in result.text
+        assert "morphing" in " ".join(result.checks)
+        assert result.data["morph"] < result.data["rigid"]

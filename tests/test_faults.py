@@ -1,0 +1,84 @@
+"""Failure-injection tests: the storage stack must fail loudly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeviceError, PageFormatError
+from repro.storage import (
+    CorruptingPageFile,
+    FlakyPageFile,
+    GraphStore,
+    SlottedPage,
+    SyncDevice,
+    ThreadedSSD,
+    corrupt_page_bytes,
+)
+
+
+@pytest.fixture()
+def page_file(tmp_path, small_rmat):
+    store = GraphStore.from_graph(small_rmat, 256)
+    with store.open_page_file(tmp_path) as handle:
+        yield handle, store
+
+
+class TestCorruption:
+    def test_decoder_detects_corruption(self, page_file):
+        handle, _store = page_file
+        corrupted = corrupt_page_bytes(handle.read_page(0))
+        with pytest.raises(PageFormatError):
+            SlottedPage.from_bytes(corrupted)
+
+    def test_corrupting_wrapper_targets_only_bad_pages(self, page_file):
+        handle, store = page_file
+        wrapper = CorruptingPageFile(handle, {1})
+        # Page 0 decodes fine...
+        SlottedPage.from_bytes(wrapper.read_page(0))
+        # ...page 1 must be detected as damaged.
+        with pytest.raises(PageFormatError):
+            SlottedPage.from_bytes(wrapper.read_page(1))
+
+    def test_sync_device_surfaces_corruption(self, page_file):
+        handle, _store = page_file
+        device = SyncDevice(CorruptingPageFile(handle, {0}))
+        with pytest.raises(PageFormatError):
+            device.read_page(0)
+
+
+class TestTransientFaults:
+    def test_fail_first_attempt_then_recover(self, page_file):
+        handle, store = page_file
+        flaky = FlakyPageFile(handle, lambda pid, attempt: attempt == 0)
+        with pytest.raises(DeviceError):
+            flaky.read_page(0)
+        assert flaky.read_page(0) == handle.read_page(0)
+        assert flaky.attempts[0] == 2
+
+    def test_permanent_fault(self, page_file):
+        handle, _store = page_file
+        flaky = FlakyPageFile(handle, lambda pid, attempt: pid == 2)
+        flaky.read_page(0)
+        for _ in range(3):
+            with pytest.raises(DeviceError):
+                flaky.read_page(2)
+
+    def test_threaded_ssd_surfaces_injected_fault(self, page_file):
+        handle, _store = page_file
+        flaky = FlakyPageFile(handle, lambda pid, attempt: pid == 1)
+        ssd = ThreadedSSD(flaky, io_workers=2)
+        ssd.async_read(0, lambda records: None)
+        ssd.async_read(1, lambda records: None)
+        with pytest.raises(DeviceError):
+            ssd.wait_idle()
+        ssd.close()
+
+    def test_threaded_ssd_usable_after_clean_pages(self, page_file):
+        handle, store = page_file
+        flaky = FlakyPageFile(handle, lambda pid, attempt: False)
+        seen = []
+        with ThreadedSSD(flaky, io_workers=2) as ssd:
+            for pid in range(min(4, store.num_pages)):
+                ssd.async_read(pid, lambda records, p=None: seen.append(1))
+            ssd.wait_idle()
+        assert len(seen) == min(4, store.num_pages)

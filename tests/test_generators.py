@@ -1,0 +1,153 @@
+"""Tests for synthetic graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators
+from repro.graph.metrics import global_clustering_coefficient
+
+
+class TestFigure1:
+    def test_shape(self, figure1):
+        assert figure1.num_vertices == 8
+        assert figure1.num_edges == 12
+
+    def test_exact_triangles(self, figure1):
+        from repro.memory import CollectSink, edge_iterator
+
+        sink = CollectSink()
+        edge_iterator(figure1, sink)
+        expected = {(0, 1, 2), (2, 3, 5), (3, 4, 5), (2, 5, 6), (2, 6, 7)}
+        assert set(sink.triangles) == expected
+
+
+class TestDeterministicGraphs:
+    def test_complete_graph_triangles(self):
+        from repro.memory import edge_iterator
+
+        graph = generators.complete_graph(8)
+        assert graph.num_edges == 28
+        assert edge_iterator(graph).triangles == 56  # C(8,3)
+
+    def test_cycle_triangle_free(self):
+        from repro.memory import edge_iterator
+
+        assert edge_iterator(generators.cycle_graph(10)).triangles == 0
+
+    def test_triangle_cycle(self):
+        from repro.memory import edge_iterator
+
+        assert edge_iterator(generators.cycle_graph(3)).triangles == 1
+
+    def test_star_triangle_free(self):
+        from repro.memory import edge_iterator
+
+        assert edge_iterator(generators.star_graph(30)).triangles == 0
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            generators.cycle_graph(2)
+
+
+class TestRandomModels:
+    def test_erdos_renyi_edge_count(self):
+        graph = generators.erdos_renyi(100, 300, seed=1)
+        assert graph.num_vertices == 100
+        assert graph.num_edges == 300
+
+    def test_erdos_renyi_too_many_edges(self):
+        with pytest.raises(GraphError):
+            generators.erdos_renyi(4, 10)
+
+    def test_erdos_renyi_deterministic(self):
+        g1 = generators.erdos_renyi(50, 100, seed=9)
+        g2 = generators.erdos_renyi(50, 100, seed=9)
+        assert g1 == g2
+
+    def test_rmat_deterministic(self):
+        assert generators.rmat(128, 500, seed=2) == generators.rmat(128, 500, seed=2)
+
+    def test_rmat_vertex_bound(self):
+        graph = generators.rmat(100, 400, seed=3)
+        assert graph.num_vertices == 100
+
+    def test_rmat_edge_count_close(self):
+        graph = generators.rmat(256, 2000, seed=4)
+        assert graph.num_edges >= 1600  # dedup loses some, not most
+
+    def test_rmat_bad_probabilities(self):
+        with pytest.raises(GraphError):
+            generators.rmat(64, 100, probabilities=(0.5, 0.5, 0.5, 0.5))
+
+    def test_rmat_skew(self):
+        """Default R-MAT parameters produce a heavy-tailed degree spread."""
+        graph = generators.rmat(512, 4000, seed=5)
+        degrees = graph.degrees()
+        assert degrees.max() > 4 * max(1, int(degrees.mean()))
+
+    def test_barabasi_albert_degrees(self):
+        graph = generators.barabasi_albert(200, 3, seed=6)
+        assert graph.num_vertices == 200
+        # every later vertex attaches with exactly `attach` edges
+        assert graph.num_edges >= 3 * (200 - 3) - 3
+
+    def test_barabasi_albert_validation(self):
+        with pytest.raises(GraphError):
+            generators.barabasi_albert(3, 5)
+
+
+class TestWattsStrogatz:
+    def test_lattice_structure(self):
+        graph = generators.watts_strogatz(20, 4, 0.0)
+        assert graph.num_edges == 40  # n * nearest / 2
+        assert graph.has_edge(0, 1) and graph.has_edge(0, 2)
+
+    def test_deterministic(self):
+        a = generators.watts_strogatz(50, 4, 0.3, seed=5)
+        b = generators.watts_strogatz(50, 4, 0.3, seed=5)
+        assert a == b
+
+    def test_rewiring_lowers_clustering(self):
+        lattice = generators.watts_strogatz(300, 6, 0.0, seed=1)
+        random_like = generators.watts_strogatz(300, 6, 1.0, seed=1)
+        assert (global_clustering_coefficient(lattice)
+                > global_clustering_coefficient(random_like) + 0.2)
+
+    def test_edge_count_preserved_under_rewiring(self):
+        graph = generators.watts_strogatz(100, 4, 0.5, seed=2)
+        assert graph.num_edges == 200
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            generators.watts_strogatz(10, 3, 0.1)  # odd nearest
+        with pytest.raises(GraphError):
+            generators.watts_strogatz(4, 4, 0.1)
+        with pytest.raises(GraphError):
+            generators.watts_strogatz(20, 4, 1.5)
+
+
+class TestHolmeKim:
+    def test_deterministic(self):
+        g1 = generators.holme_kim(100, 4, 0.5, seed=7)
+        g2 = generators.holme_kim(100, 4, 0.5, seed=7)
+        assert g1 == g2
+
+    def test_triad_probability_validation(self):
+        with pytest.raises(GraphError):
+            generators.holme_kim(50, 3, 1.5)
+
+    def test_clustering_increases_with_triad_probability(self):
+        """The Figure 7c knob: clustering rises with triad probability."""
+        low = generators.holme_kim(400, 5, 0.05, seed=8)
+        high = generators.holme_kim(400, 5, 0.9, seed=8)
+        assert (
+            global_clustering_coefficient(high)
+            > global_clustering_coefficient(low) + 0.1
+        )
+
+    def test_densities_comparable(self):
+        low = generators.holme_kim(400, 5, 0.05, seed=8)
+        high = generators.holme_kim(400, 5, 0.9, seed=8)
+        assert abs(low.num_edges - high.num_edges) < 0.15 * low.num_edges

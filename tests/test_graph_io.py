@@ -1,0 +1,71 @@
+"""Tests for graph serialization round trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import generators
+from repro.graph.io import read_binary, read_edge_list, write_binary, write_edge_list
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path, small_rmat):
+        path = tmp_path / "graph.txt"
+        write_edge_list(small_rmat, path)
+        loaded = read_edge_list(path, num_vertices=small_rmat.num_vertices)
+        assert loaded == small_rmat
+
+    def test_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n% other comment\n0 1\n1 2\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+
+    def test_self_loops_dropped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 0\n0 1\n")
+        assert read_edge_list(path).num_edges == 1
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_non_integer(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+
+class TestBinary:
+    def test_round_trip(self, tmp_path, small_rmat):
+        path = tmp_path / "graph.bin"
+        write_binary(small_rmat, path)
+        assert read_binary(path) == small_rmat
+
+    def test_round_trip_empty(self, tmp_path):
+        from repro.graph.builder import GraphBuilder
+
+        graph = GraphBuilder(3).build()
+        path = tmp_path / "empty.bin"
+        write_binary(graph, path)
+        loaded = read_binary(path)
+        assert loaded.num_vertices == 3
+        assert loaded.num_edges == 0
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"JUNKxxxxxxxxxxxxxxxxxxxx")
+        with pytest.raises(GraphFormatError):
+            read_binary(path)
+
+    def test_truncated(self, tmp_path, figure1):
+        path = tmp_path / "graph.bin"
+        write_binary(figure1, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-8])
+        with pytest.raises(GraphFormatError):
+            read_binary(path)

@@ -1,0 +1,78 @@
+"""Tests for the additional I/O formats: gzip and adjacency lists."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import from_edges
+from repro.graph.io import (
+    read_adjacency,
+    read_edge_list,
+    write_adjacency,
+    write_edge_list,
+)
+
+
+class TestGzip:
+    def test_edge_list_round_trip_gz(self, tmp_path, small_rmat):
+        path = tmp_path / "graph.txt.gz"
+        write_edge_list(small_rmat, path)
+        # File must actually be gzip-compressed.
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        loaded = read_edge_list(path, num_vertices=small_rmat.num_vertices)
+        assert loaded == small_rmat
+
+    def test_gz_smaller_than_plain(self, tmp_path, small_rmat):
+        plain = tmp_path / "g.txt"
+        packed = tmp_path / "g.txt.gz"
+        write_edge_list(small_rmat, plain)
+        write_edge_list(small_rmat, packed)
+        assert packed.stat().st_size < plain.stat().st_size
+
+    def test_external_gzip_readable(self, tmp_path):
+        path = tmp_path / "g.txt.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("0 1\n1 2\n")
+        assert read_edge_list(path).num_edges == 2
+
+
+class TestAdjacency:
+    def test_round_trip(self, tmp_path, small_rmat):
+        path = tmp_path / "graph.adj"
+        write_adjacency(small_rmat, path)
+        assert read_adjacency(path) == small_rmat
+
+    def test_round_trip_gz(self, tmp_path, clustered_graph):
+        path = tmp_path / "graph.adj.gz"
+        write_adjacency(clustered_graph, path)
+        assert read_adjacency(path) == clustered_graph
+
+    def test_isolated_vertices_preserved(self, tmp_path):
+        graph = from_edges([(0, 1)], num_vertices=4)
+        path = tmp_path / "g.adj"
+        write_adjacency(graph, path)
+        loaded = read_adjacency(path)
+        assert loaded.num_vertices == 4
+        assert loaded.num_edges == 1
+
+    def test_missing_separator(self, tmp_path):
+        path = tmp_path / "bad.adj"
+        path.write_text("0 1 2\n")
+        with pytest.raises(GraphFormatError):
+            read_adjacency(path)
+
+    def test_non_integer(self, tmp_path):
+        path = tmp_path / "bad.adj"
+        path.write_text("0: a b\n")
+        with pytest.raises(GraphFormatError):
+            read_adjacency(path)
+
+    def test_empty_neighbor_lines(self, tmp_path):
+        path = tmp_path / "g.adj"
+        path.write_text("0: 1\n1: 0\n2:\n")
+        loaded = read_adjacency(path)
+        assert loaded.num_vertices == 3
+        assert loaded.num_edges == 1

@@ -1,0 +1,92 @@
+"""Tests for the intersection kernels and their op accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.intersect import (
+    IntersectionKernel,
+    gallop_intersect,
+    hash_intersect,
+    intersect_count_ops,
+    intersect_sorted,
+    merge_intersect,
+    resolve_kernel,
+)
+
+sorted_unique = st.lists(st.integers(0, 500), max_size=60).map(
+    lambda xs: sorted(set(xs))
+)
+
+
+class TestIntersectSorted:
+    def test_basic(self):
+        a = np.array([1, 3, 5, 7])
+        b = np.array([3, 4, 5, 9])
+        assert intersect_sorted(a, b).tolist() == [3, 5]
+
+    def test_empty_left(self):
+        assert len(intersect_sorted(np.array([], dtype=np.int64), np.array([1]))) == 0
+
+    def test_empty_right(self):
+        assert len(intersect_sorted(np.array([1, 2]), np.array([], dtype=np.int64))) == 0
+
+    def test_disjoint(self):
+        assert len(intersect_sorted(np.array([1, 2]), np.array([3, 4]))) == 0
+
+    def test_identical(self):
+        a = np.array([2, 4, 6])
+        assert intersect_sorted(a, a).tolist() == [2, 4, 6]
+
+
+class TestOpsAccounting:
+    def test_count_is_min(self):
+        assert intersect_count_ops(3, 10) == 3
+        assert intersect_count_ops(10, 3) == 3
+        assert intersect_count_ops(0, 5) == 0
+
+    def test_hash_ops_match_paper_measure(self):
+        result, ops = hash_intersect([1, 2, 3], list(range(100)))
+        assert result == [1, 2, 3]
+        assert ops == 3  # min(|a|, |b|)
+
+
+class TestReferenceKernels:
+    @pytest.mark.parametrize("kernel", [merge_intersect, hash_intersect, gallop_intersect])
+    def test_known_case(self, kernel):
+        result, ops = kernel([1, 4, 6, 9], [2, 4, 9, 12])
+        assert result == [4, 9]
+        assert ops > 0
+
+    @pytest.mark.parametrize("kernel", [merge_intersect, hash_intersect, gallop_intersect])
+    def test_empty(self, kernel):
+        result, _ = kernel([], [1, 2])
+        assert result == []
+
+    @given(sorted_unique, sorted_unique)
+    def test_kernels_agree(self, a, b):
+        expected = sorted(set(a) & set(b))
+        for kernel in (merge_intersect, hash_intersect, gallop_intersect):
+            result, _ = kernel(a, b)
+            assert result == expected
+
+    @given(sorted_unique, sorted_unique)
+    def test_numpy_kernel_agrees(self, a, b):
+        kernel = resolve_kernel(IntersectionKernel.NUMPY)
+        result, ops = kernel(a, b)
+        assert result == sorted(set(a) & set(b))
+        assert ops == min(len(a), len(b))
+
+
+class TestResolveKernel:
+    def test_resolves_all_names(self):
+        for kernel in IntersectionKernel:
+            assert callable(resolve_kernel(kernel))
+            assert callable(resolve_kernel(kernel.value))
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            resolve_kernel("bogus")

@@ -1,0 +1,81 @@
+"""Tests for the general disk-based k-clique join."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_store, triangulate_disk
+from repro.errors import TriangulationError
+from repro.graph import generators
+from repro.graph.ordering import apply_ordering
+from repro.memory import count_cliques
+from repro.subgraph import four_cliques_disk, k_cliques_disk
+
+
+class GroupSink:
+    def __init__(self):
+        self.groups = []
+        self.count = 0
+
+    def emit(self, u, v, ws):
+        self.groups.append((int(u), int(v), [int(w) for w in ws]))
+        self.count += len(ws)
+
+
+def prepare(graph, page_size=256, buffer_pages=4):
+    store = make_store(graph, page_size)
+    sink = GroupSink()
+    triangulate_disk(store, buffer_pages=buffer_pages, sink=sink)
+    return store, sink.groups
+
+
+class TestKCliquesDisk:
+    @pytest.mark.parametrize("k,expected", [(3, 84), (4, 126), (5, 126), (6, 84)])
+    def test_complete_graph_all_levels(self, k, expected):
+        # K9: C(9, k) cliques of size k.
+        store, groups = prepare(generators.complete_graph(9))
+        assert k_cliques_disk(store, groups, k).cliques == expected
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_matches_in_memory(self, k):
+        graph, _ = apply_ordering(generators.holme_kim(200, 6, 0.6, seed=23),
+                                  "degree")
+        store, groups = prepare(graph)
+        result = k_cliques_disk(store, groups, k, buffer_pages=8)
+        assert result.cliques == count_cliques(graph, k).triangles
+
+    def test_k4_agrees_with_specialized_join(self):
+        graph, _ = apply_ordering(generators.holme_kim(150, 5, 0.6, seed=9),
+                                  "degree")
+        store, groups = prepare(graph)
+        general = k_cliques_disk(store, groups, 4, buffer_pages=6)
+        special = four_cliques_disk(store, groups, buffer_pages=6)
+        assert general.cliques == special.cliques
+
+    def test_collected_cliques_valid(self):
+        graph, _ = apply_ordering(generators.holme_kim(120, 5, 0.7, seed=3),
+                                  "degree")
+        store, groups = prepare(graph)
+        result = k_cliques_disk(store, groups, 5, buffer_pages=6, collect=True)
+        assert len(result.listed) == result.cliques
+        for clique in result.listed:
+            assert len(clique) == 5
+            assert list(clique) == sorted(clique)
+            for i in range(5):
+                for j in range(i + 1, 5):
+                    assert graph.has_edge(clique[i], clique[j])
+
+    def test_no_cliques_in_sparse_graph(self):
+        store, groups = prepare(generators.cycle_graph(40))
+        assert k_cliques_disk(store, groups, 4).cliques == 0
+
+    def test_io_accounted(self):
+        store, groups = prepare(generators.complete_graph(12))
+        result = k_cliques_disk(store, groups, 5, buffer_pages=4)
+        assert result.pages_read > 0
+        assert result.elapsed > 0
+
+    def test_validation(self, figure1):
+        store, groups = prepare(figure1, page_size=128, buffer_pages=2)
+        with pytest.raises(TriangulationError):
+            k_cliques_disk(store, groups, 2)

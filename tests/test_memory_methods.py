@@ -1,0 +1,121 @@
+"""Tests for the in-memory triangulation methods (Algorithms 1 and 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import generators
+from repro.graph.builder import from_edges
+from repro.memory import (
+    CollectSink,
+    CountSink,
+    canonical_triangles,
+    edge_iterator,
+    forward,
+    matrix_count,
+    vertex_iterator,
+)
+from tests.conftest import nx_triangle_count
+
+LISTING_METHODS = [edge_iterator, vertex_iterator, forward]
+ALL_METHODS = LISTING_METHODS + [matrix_count]
+
+
+class TestAgainstGroundTruth:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_figure1(self, method, figure1):
+        assert method(figure1).triangles == 5
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_complete_graph(self, method):
+        graph = generators.complete_graph(10)
+        assert method(graph).triangles == 120
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_triangle_free(self, method):
+        assert method(generators.cycle_graph(20)).triangles == 0
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_empty_graph(self, method):
+        from repro.graph.builder import GraphBuilder
+
+        assert method(GraphBuilder(4).build()).triangles == 0
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_rmat_matches_networkx(self, method, small_rmat):
+        assert method(small_rmat).triangles == nx_triangle_count(small_rmat)
+
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_clustered_matches_networkx(self, method, clustered_graph):
+        assert method(clustered_graph).triangles == nx_triangle_count(clustered_graph)
+
+
+class TestListingAgreement:
+    @pytest.mark.parametrize("method", LISTING_METHODS)
+    def test_lists_same_triangles(self, method, small_rmat):
+        reference = CollectSink()
+        edge_iterator(small_rmat, reference)
+        sink = CollectSink()
+        method(small_rmat, sink)
+        assert canonical_triangles(sink) == canonical_triangles(reference)
+
+    @given(st.lists(st.tuples(st.integers(0, 25), st.integers(0, 25)), max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_all_methods_agree_property(self, edges):
+        graph = from_edges(edges)
+        counts = {method.__name__: method(graph).triangles for method in ALL_METHODS}
+        assert len(set(counts.values())) == 1, counts
+
+
+class TestCostAccounting:
+    def test_edge_iterator_ops_bound(self, small_rmat):
+        """EdgeIterator ops must respect the arboricity bound (Eq. 1-5)."""
+        result = edge_iterator(small_rmat)
+        bound = sum(
+            min(len(small_rmat.n_succ(u)), len(small_rmat.n_succ(int(v))))
+            for u in range(small_rmat.num_vertices)
+            for v in small_rmat.n_succ(u)
+        )
+        assert result.cpu_ops == bound
+
+    def test_forward_cheaper_than_edge_iterator(self, small_rmat):
+        """Forward intersects prefix lists, so never costs more probes."""
+        assert forward(small_rmat).cpu_ops <= edge_iterator(small_rmat).cpu_ops
+
+    def test_vertex_iterator_more_expensive(self, small_rmat_ordered):
+        """VertexIterator probes all successor pairs (paper: ~20% slower)."""
+        vi = vertex_iterator(small_rmat_ordered).cpu_ops
+        ei = edge_iterator(small_rmat_ordered).cpu_ops
+        assert vi >= ei
+
+
+class TestMatrixMethod:
+    def test_split_reported(self, small_rmat):
+        result = matrix_count(small_rmat)
+        extra = result.extra
+        assert extra["core_triangles"] + extra["fringe_triangles"] == result.triangles
+
+    def test_threshold_zero_is_pure_matmul(self, figure1):
+        result = matrix_count(figure1, degree_threshold=0)
+        assert result.triangles == 5
+        assert result.extra["fringe_triangles"] == 0
+
+    def test_huge_threshold_is_pure_iterator(self, figure1):
+        result = matrix_count(figure1, degree_threshold=100)
+        assert result.triangles == 5
+        assert result.extra["core_triangles"] == 0
+
+
+class TestSinks:
+    def test_count_sink(self):
+        sink = CountSink()
+        sink.emit(0, 1, [2, 3])
+        sink.emit(0, 2, [5])
+        assert sink.count == 3
+
+    def test_collect_sink_canonicalizes(self):
+        sink = CollectSink()
+        sink.emit(5, 1, [3])
+        assert sink.triangles == [(1, 3, 5)]

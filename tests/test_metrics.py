@@ -1,0 +1,79 @@
+"""Tests for graph metrics against networkx ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.graph.metrics import (
+    clustering_coefficients,
+    global_clustering_coefficient,
+    per_vertex_triangles,
+    transitivity,
+    trigonal_connectivity,
+)
+
+
+def _nx_graph(graph):
+    import networkx as nx
+
+    nxg = nx.Graph(list(graph.edges()))
+    nxg.add_nodes_from(range(graph.num_vertices))
+    return nxg
+
+
+class TestPerVertexTriangles:
+    def test_figure1(self, figure1):
+        counts = per_vertex_triangles(figure1)
+        # c (vertex 2) participates in 4 of the 5 triangles.
+        assert counts[2] == 4
+        assert counts.sum() == 3 * 5
+
+    def test_matches_networkx(self, clustered_graph):
+        import networkx as nx
+
+        expected = nx.triangles(_nx_graph(clustered_graph))
+        counts = per_vertex_triangles(clustered_graph)
+        assert all(counts[v] == expected[v] for v in range(clustered_graph.num_vertices))
+
+
+class TestClustering:
+    def test_complete_graph_is_one(self):
+        graph = generators.complete_graph(6)
+        assert np.allclose(clustering_coefficients(graph), 1.0)
+        assert global_clustering_coefficient(graph) == pytest.approx(1.0)
+
+    def test_triangle_free_is_zero(self):
+        graph = generators.cycle_graph(12)
+        assert global_clustering_coefficient(graph) == 0.0
+
+    def test_matches_networkx(self, clustered_graph):
+        import networkx as nx
+
+        expected = nx.average_clustering(_nx_graph(clustered_graph))
+        assert global_clustering_coefficient(clustered_graph) == pytest.approx(expected)
+
+    def test_transitivity_matches_networkx(self, clustered_graph):
+        import networkx as nx
+
+        expected = nx.transitivity(_nx_graph(clustered_graph))
+        assert transitivity(clustered_graph) == pytest.approx(expected)
+
+    def test_empty_graph(self):
+        from repro.graph.builder import GraphBuilder
+
+        graph = GraphBuilder(0).build()
+        assert global_clustering_coefficient(graph) == 0.0
+        assert transitivity(graph) == 0.0
+
+
+class TestTrigonalConnectivity:
+    def test_figure1_edges(self, figure1):
+        # edge (c=2, f=5) participates in triangles (c,d,f) and (c,f,g).
+        assert trigonal_connectivity(figure1, 2, 5) == 2
+        # edge (a=0, b=1) participates only in (a,b,c).
+        assert trigonal_connectivity(figure1, 0, 1) == 1
+
+    def test_missing_edge_is_zero(self, figure1):
+        assert trigonal_connectivity(figure1, 0, 7) == 0

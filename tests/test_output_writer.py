@@ -1,0 +1,71 @@
+"""Tests for the nested-representation output writer."""
+
+from __future__ import annotations
+
+import io
+import struct
+
+from repro.core import NestedOutputWriter, triangulate_disk
+from repro.core.output import nested_group_bytes, triple_bytes
+from repro.memory import edge_iterator
+
+
+class TestEncoding:
+    def test_group_bytes(self):
+        assert nested_group_bytes(3) == 10 + 12
+        assert triple_bytes(3) == 36
+
+    def test_nested_beats_triples_with_shared_prefixes(self):
+        # 10 triangles sharing one (u, v) prefix: nested is far smaller.
+        assert nested_group_bytes(10) < triple_bytes(10) / 2
+
+
+class TestWriter:
+    def test_counts(self):
+        writer = NestedOutputWriter()
+        writer.emit(0, 1, [2, 3, 4])
+        writer.emit(0, 2, [5])
+        writer.close()
+        assert writer.count == 4
+        assert writer.groups == 2
+        assert writer.bytes_written == nested_group_bytes(3) + nested_group_bytes(1)
+
+    def test_empty_group_ignored(self):
+        writer = NestedOutputWriter()
+        writer.emit(0, 1, [])
+        writer.close()
+        assert writer.count == 0
+        assert writer.bytes_written == 0
+
+    def test_page_flush_granularity(self):
+        writer = NestedOutputWriter(page_size=64)
+        for i in range(20):
+            writer.emit(i, i + 1, [i + 2])
+        writer.close()
+        assert writer.pages_written >= writer.bytes_written // 64
+
+    def test_writes_to_stream(self):
+        stream = io.BytesIO()
+        writer = NestedOutputWriter(stream, page_size=32)
+        writer.emit(1, 2, [3, 4])
+        writer.close()
+        data = stream.getvalue()
+        assert len(data) == writer.bytes_written
+        u, v, k = struct.unpack_from("<IIH", data, 0)
+        assert (u, v, k) == (1, 2, 2)
+
+    def test_writes_to_path(self, tmp_path):
+        path = tmp_path / "triangles.bin"
+        with NestedOutputWriter(path) as writer:
+            writer.emit(0, 1, [2])
+        assert path.stat().st_size == writer.bytes_written
+
+    def test_as_opt_sink(self, small_rmat_ordered):
+        writer = NestedOutputWriter(page_size=512)
+        result = triangulate_disk(small_rmat_ordered, page_size=256,
+                                  buffer_pages=6, sink=writer)
+        writer.close()
+        assert writer.count == result.triangles
+        assert writer.count == edge_iterator(small_rmat_ordered).triangles
+        trace = result.extra["trace"]
+        assert sum(it.output_pages for it in trace.iterations) > 0

@@ -1,0 +1,99 @@
+"""Tests for the nested-output reader and TriangleStore queries."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core import NestedOutputWriter, triangulate_disk
+from repro.core.result_store import TriangleStore, read_nested_groups
+from repro.errors import GraphFormatError
+from repro.graph.metrics import per_vertex_triangles, trigonal_connectivity
+from repro.memory import edge_iterator
+
+
+class TestReader:
+    def test_round_trip_stream(self):
+        stream = io.BytesIO()
+        writer = NestedOutputWriter(stream, page_size=64)
+        writer.emit(0, 1, [2, 3])
+        writer.emit(4, 5, [9])
+        writer.close()
+        stream.seek(0)
+        groups = list(read_nested_groups(stream))
+        assert groups == [(0, 1, [2, 3]), (4, 5, [9])]
+
+    def test_round_trip_file(self, tmp_path, small_rmat_ordered):
+        path = tmp_path / "triangles.nested"
+        with NestedOutputWriter(path) as writer:
+            result = triangulate_disk(small_rmat_ordered, page_size=256,
+                                      buffer_pages=6, sink=writer)
+        total = sum(len(ws) for _, _, ws in read_nested_groups(path))
+        assert total == result.triangles
+
+    def test_truncated_header_rejected(self):
+        stream = io.BytesIO(b"\x01\x02\x03")
+        with pytest.raises(GraphFormatError):
+            list(read_nested_groups(stream))
+
+    def test_truncated_body_rejected(self):
+        stream = io.BytesIO()
+        writer = NestedOutputWriter(stream)
+        writer.emit(0, 1, [2, 3, 4])
+        writer.close()
+        data = stream.getvalue()[:-2]
+        with pytest.raises(GraphFormatError):
+            list(read_nested_groups(io.BytesIO(data)))
+
+    def test_empty_file(self):
+        assert list(read_nested_groups(io.BytesIO())) == []
+
+
+class TestTriangleStore:
+    @pytest.fixture()
+    def store(self, tmp_path, clustered_graph):
+        path = tmp_path / "t.nested"
+        with NestedOutputWriter(path) as writer:
+            edge_iterator(clustered_graph, writer)
+        return TriangleStore.from_file(path), clustered_graph
+
+    def test_total_count(self, store):
+        triangle_store, graph = store
+        assert len(triangle_store) == edge_iterator(graph).triangles
+
+    def test_per_vertex_matches_metrics(self, store):
+        triangle_store, graph = store
+        expected = per_vertex_triangles(graph)
+        for v in range(graph.num_vertices):
+            assert triangle_store.triangle_count_of_vertex(v) == expected[v]
+
+    def test_edge_query_matches_trigonal_connectivity(self, store):
+        triangle_store, graph = store
+        for u, v in list(graph.edges())[:100]:
+            assert (
+                triangle_store.trigonal_connectivity(u, v)
+                == trigonal_connectivity(graph, u, v)
+            )
+
+    def test_edge_query_symmetric(self, store):
+        triangle_store, graph = store
+        u, v = next(iter(graph.edges()))
+        assert (triangle_store.triangles_of_edge(u, v)
+                == triangle_store.triangles_of_edge(v, u))
+
+    def test_top_vertices_sorted(self, store):
+        triangle_store, _graph = store
+        top = triangle_store.top_vertices(5)
+        counts = [count for _, count in top]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_triangles_canonical(self, store):
+        triangle_store, _graph = store
+        for triangle in triangle_store:
+            assert list(triangle) == sorted(triangle)
+
+    def test_missing_vertex(self, store):
+        triangle_store, _graph = store
+        assert triangle_store.triangles_of_vertex(10**6) == []
+        assert triangle_store.trigonal_connectivity(10**6, 0) == 0

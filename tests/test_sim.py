@@ -1,0 +1,161 @@
+"""Tests for the cost model and the discrete-event scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim import CostModel, ExternalRead, IterationTrace, RunTrace, simulate
+
+
+def model(**overrides) -> CostModel:
+    defaults = dict(page_read_time=100e-6, op_time=1e-6, channels=1,
+                    candidate_op_factor=1.0)
+    defaults.update(overrides)
+    return CostModel(**defaults)
+
+
+def trace_of(iterations, m_in=2, m_ex=2, num_pages=10) -> RunTrace:
+    return RunTrace(num_pages=num_pages, m_in=m_in, m_ex=m_ex,
+                    iterations=iterations)
+
+
+class TestCostModel:
+    def test_c_constant(self):
+        cm = model()
+        assert cm.c == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(page_read_time=0)
+        with pytest.raises(ConfigurationError):
+            CostModel(channels=0)
+        with pytest.raises(ConfigurationError):
+            CostModel(candidate_op_factor=-1)
+
+    def test_with_override(self):
+        cm = model().with_(channels=4)
+        assert cm.channels == 4
+        assert cm.page_read_time == 100e-6
+
+
+class TestFillPhase:
+    def test_fill_only(self):
+        it = IterationTrace(fill_reads=5)
+        result = simulate(trace_of([it]), model(), cores=1)
+        assert result.elapsed == pytest.approx(5 * 100e-6)
+
+    def test_buffered_fill_free(self):
+        it = IterationTrace(fill_reads=0, fill_buffered=5)
+        result = simulate(trace_of([it]), model(), cores=1)
+        assert result.elapsed == pytest.approx(0.0)
+
+    def test_candidate_cpu_can_dominate_fill(self):
+        it = IterationTrace(fill_reads=1, candidate_ops=1000)
+        result = simulate(trace_of([it]), model(), cores=1)
+        assert result.elapsed == pytest.approx(1000e-6)
+
+    def test_channels_divide_fill(self):
+        it = IterationTrace(fill_reads=8)
+        t1 = simulate(trace_of([it]), model(channels=1)).elapsed
+        t4 = simulate(trace_of([it]), model(channels=4)).elapsed
+        assert t4 == pytest.approx(t1 / 4)
+
+
+class TestInternalWork:
+    def test_serial_internal_sum(self):
+        it = IterationTrace(internal_page_ops=[100, 200, 300])
+        result = simulate(trace_of([it]), model(), cores=1)
+        assert result.elapsed == pytest.approx(600e-6)
+
+    def test_parallel_internal_scales(self):
+        it = IterationTrace(internal_page_ops=[100] * 12)
+        t1 = simulate(trace_of([it]), model(), cores=1).elapsed
+        t3 = simulate(trace_of([it]), model(), cores=4, morphing=True).elapsed
+        # 3 internal workers (+ the morphing callback worker) share 12 tasks.
+        assert t3 < t1 / 2.5
+
+    def test_no_morphing_callback_idle(self):
+        it = IterationTrace(internal_page_ops=[100] * 12)
+        with_morph = simulate(trace_of([it]), model(), cores=2, morphing=True).elapsed
+        without = simulate(trace_of([it]), model(), cores=2, morphing=False).elapsed
+        # Without morphing the callback worker never helps internal work.
+        assert without == pytest.approx(12 * 100e-6)
+        assert with_morph < without
+
+
+class TestExternalPipeline:
+    def test_micro_overlap_hides_io_when_cpu_bound(self):
+        """CPU-bound external work must cost ~CPU, not CPU + I/O."""
+        reads = [ExternalRead(pid=i, cpu_ops=1000) for i in range(10)]
+        it = IterationTrace(external_reads=reads)
+        result = simulate(trace_of([it], m_ex=4), model(), cores=1)
+        cpu = 10 * 1000e-6
+        io = 10 * 100e-6
+        assert result.elapsed < cpu + 0.5 * io
+        assert result.elapsed >= cpu
+
+    def test_io_bound_external_costs_io(self):
+        reads = [ExternalRead(pid=i, cpu_ops=1) for i in range(10)]
+        it = IterationTrace(external_reads=reads)
+        result = simulate(trace_of([it], m_ex=4), model(), cores=1)
+        assert result.elapsed >= 10 * 100e-6
+
+    def test_buffered_reads_cost_no_io(self):
+        reads = [ExternalRead(pid=i, cpu_ops=10, buffered=True) for i in range(5)]
+        it = IterationTrace(external_reads=reads)
+        result = simulate(trace_of([it]), model(), cores=1)
+        assert result.elapsed == pytest.approx(5 * 10e-6)
+
+    def test_window_limits_prefetch(self):
+        """With m_ex=1 (sync I/O, the MGT mode) latency adds up serially."""
+        reads = [ExternalRead(pid=i, cpu_ops=100) for i in range(10)]
+        it = IterationTrace(external_reads=reads)
+        sync = simulate(trace_of([it], m_ex=1), model(), cores=1).elapsed
+        overlapped = simulate(trace_of([it], m_ex=8), model(), cores=1).elapsed
+        assert sync == pytest.approx(10 * (100e-6 + 100e-6))
+        assert overlapped < sync
+
+
+class TestMacroOverlap:
+    def test_two_cores_overlap_internal_external(self):
+        reads = [ExternalRead(pid=i, cpu_ops=500, buffered=True) for i in range(4)]
+        it = IterationTrace(internal_page_ops=[500] * 4, external_reads=reads)
+        serial = simulate(trace_of([it]), model(), cores=1, serial=True).elapsed
+        dual = simulate(trace_of([it]), model(), cores=2, morphing=True).elapsed
+        assert dual == pytest.approx(serial / 2, rel=0.1)
+
+    def test_serial_flag_forces_one_core(self):
+        it = IterationTrace(internal_page_ops=[100] * 4)
+        result = simulate(trace_of([it]), model(), cores=6, serial=True)
+        assert result.cores == 1
+
+    def test_iterations_are_barriers(self):
+        it1 = IterationTrace(internal_page_ops=[1000])
+        it2 = IterationTrace(internal_page_ops=[1000])
+        both = simulate(trace_of([it1, it2]), model(), cores=2).elapsed
+        one = simulate(trace_of([it1]), model(), cores=2).elapsed
+        assert both == pytest.approx(2 * one)
+
+
+class TestResultFields:
+    def test_parallel_fraction(self):
+        reads = [ExternalRead(pid=i, cpu_ops=1000, buffered=True) for i in range(3)]
+        it = IterationTrace(fill_reads=2, external_reads=reads)
+        result = simulate(trace_of([it]), model(), cores=1, serial=True)
+        assert 0 < result.parallel_fraction <= 1
+
+    def test_iteration_timings_recorded(self):
+        it = IterationTrace(fill_reads=1, internal_page_ops=[10])
+        result = simulate(trace_of([it, it]), model(), cores=1)
+        assert len(result.iterations) == 2
+        assert all(t.elapsed >= t.fill_time for t in result.iterations)
+
+    def test_invalid_cores(self):
+        with pytest.raises(SimulationError):
+            simulate(trace_of([]), model(), cores=0)
+
+    def test_output_writes_extend_when_slow(self):
+        it = IterationTrace(internal_page_ops=[1], output_pages=100)
+        result = simulate(trace_of([it]), model(), cores=1)
+        assert result.elapsed >= 100 * model().page_write_time

@@ -1,0 +1,103 @@
+"""Property tests on the discrete-event scheduler's invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import CostModel, ExternalRead, IterationTrace, RunTrace, simulate
+
+cost = CostModel(page_read_time=100e-6, op_time=1e-6, channels=2,
+                 candidate_op_factor=1.0)
+
+iteration_strategy = st.builds(
+    IterationTrace,
+    fill_reads=st.integers(0, 6),
+    fill_buffered=st.integers(0, 4),
+    candidate_ops=st.integers(0, 200),
+    internal_page_ops=st.lists(st.integers(0, 500), max_size=6),
+    external_reads=st.lists(
+        st.builds(
+            ExternalRead,
+            pid=st.integers(0, 50),
+            cpu_ops=st.integers(0, 500),
+            buffered=st.booleans(),
+        ),
+        max_size=8,
+    ),
+)
+
+trace_strategy = st.builds(
+    RunTrace,
+    num_pages=st.just(64),
+    m_in=st.integers(1, 4),
+    m_ex=st.integers(1, 4),
+    iterations=st.lists(iteration_strategy, max_size=4),
+)
+
+
+class TestSchedulerInvariants:
+    @given(trace_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_elapsed_lower_bounds(self, trace):
+        """Elapsed can never beat the device or a single CPU's work."""
+        result = simulate(trace, cost, cores=1, serial=True)
+        cpu_total = cost.cpu(trace.total_ops)
+        assert result.elapsed >= cpu_total - 1e-12
+        device_pages = trace.total_device_reads
+        assert result.elapsed >= device_pages * cost.page_read_time / cost.channels - 1e-12
+
+    @given(trace_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_more_cores_never_slower(self, trace):
+        previous = None
+        for cores in (1, 2, 4, 8):
+            elapsed = simulate(trace, cost, cores=cores, morphing=True).elapsed
+            if previous is not None:
+                assert elapsed <= previous + 1e-12
+            previous = elapsed
+
+    @given(trace_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_morphing_never_slower(self, trace):
+        on = simulate(trace, cost, cores=3, morphing=True).elapsed
+        off = simulate(trace, cost, cores=3, morphing=False).elapsed
+        assert on <= off + 1e-12
+
+    @given(trace_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_faster_device_never_slower(self, trace):
+        slow = simulate(trace, cost, cores=2).elapsed
+        fast = simulate(trace, cost.with_(channels=8), cores=2).elapsed
+        assert fast <= slow + 1e-12
+
+    @given(trace_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_iteration_additivity(self, trace):
+        """Per-iteration elapsed sums to the total (barrier semantics)."""
+        result = simulate(trace, cost, cores=2)
+        assert sum(t.elapsed for t in result.iterations) == result.elapsed
+
+    @given(trace_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_busy_time_conserved(self, trace):
+        """Worker busy-seconds equal the trace's CPU work exactly."""
+        result = simulate(trace, cost, cores=3, morphing=True)
+        busy = sum(t.internal_busy + t.external_busy for t in result.iterations)
+        assert abs(busy - cost.cpu(trace.total_ops)) < 1e-9
+
+    @given(trace_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_sync_mode_is_slowest(self, trace):
+        """Synchronous external I/O never beats the overlapped pipeline.
+
+        Holds when the asynchronous window is at least the channel count
+        (a window of 1 cannot exploit device parallelism, while the sync
+        model still streams at full bandwidth — the MGT streaming case).
+        """
+        trace.m_ex = max(trace.m_ex, cost.channels)
+        trace.sync_external = False
+        overlapped = simulate(trace, cost, cores=1, serial=True).elapsed
+        trace.sync_external = True
+        sync = simulate(trace, cost, cores=1, serial=True).elapsed
+        assert sync >= overlapped - 1e-12

@@ -1,0 +1,134 @@
+"""Tests for slotted pages and page files."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PageFormatError, PageFullError, StorageError
+from repro.storage.page import DEFAULT_PAGE_SIZE, SlottedPage, record_capacity
+from repro.storage.pagefile import PageFile
+
+
+class TestSlottedPage:
+    def test_empty_round_trip(self):
+        page = SlottedPage(256)
+        decoded = SlottedPage.from_bytes(page.to_bytes())
+        assert decoded.num_records == 0
+
+    def test_single_record_round_trip(self):
+        page = SlottedPage(256)
+        page.add_record(7, np.array([1, 2, 9]), is_last=True)
+        decoded = SlottedPage.from_bytes(page.to_bytes())
+        records = decoded.records()
+        assert len(records) == 1
+        assert records[0].vertex == 7
+        assert records[0].neighbors.tolist() == [1, 2, 9]
+        assert records[0].is_last
+
+    def test_continuation_flag_round_trip(self):
+        page = SlottedPage(256)
+        page.add_record(3, np.array([4, 5]), is_last=False)
+        decoded = SlottedPage.from_bytes(page.to_bytes())
+        assert not decoded.records()[0].is_last
+
+    def test_page_full(self):
+        page = SlottedPage(64)
+        page.add_record(0, np.arange(1, record_capacity(64) + 1))
+        with pytest.raises(PageFullError):
+            page.add_record(1, np.array([2]))
+
+    def test_serialized_size_exact(self):
+        page = SlottedPage(512)
+        page.add_record(0, np.array([1]))
+        assert len(page.to_bytes()) == 512
+
+    def test_rejects_too_small_page(self):
+        with pytest.raises(PageFormatError):
+            SlottedPage(8)
+
+    def test_rejects_huge_neighbor_ids(self):
+        page = SlottedPage(256)
+        with pytest.raises(PageFormatError):
+            page.add_record(0, np.array([2**33]))
+
+    def test_empty_neighbor_record(self):
+        page = SlottedPage(256)
+        page.add_record(5, np.array([], dtype=np.int64))
+        decoded = SlottedPage.from_bytes(page.to_bytes())
+        assert decoded.records()[0].vertex == 5
+        assert len(decoded.records()[0].neighbors) == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 1000),
+                st.lists(st.integers(0, 100000), max_size=8),
+                st.booleans(),
+            ),
+            max_size=10,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, specs):
+        page = SlottedPage(DEFAULT_PAGE_SIZE)
+        for vertex, neighbors, is_last in specs:
+            page.add_record(vertex, np.array(sorted(set(neighbors)), dtype=np.int64),
+                            is_last=is_last)
+        decoded = SlottedPage.from_bytes(page.to_bytes())
+        assert decoded.num_records == len(specs)
+        for record, (vertex, neighbors, is_last) in zip(decoded.records(), specs):
+            assert record.vertex == vertex
+            assert record.neighbors.tolist() == sorted(set(neighbors))
+            assert record.is_last == is_last
+
+    def test_capacity_matches_fits(self):
+        page = SlottedPage(128)
+        cap = page.max_neighbors_fitting()
+        assert page.fits(cap)
+        assert not page.fits(cap + 1)
+
+
+class TestPageFile:
+    def test_round_trip(self, tmp_path):
+        pages = [bytes([i]) * 128 for i in range(5)]
+        path = tmp_path / "data.pages"
+        with PageFile.create(path, pages, 128) as page_file:
+            assert page_file.num_pages == 5
+            for pid in range(5):
+                assert page_file.read_page(pid) == pages[pid]
+
+    def test_out_of_range(self, tmp_path):
+        path = tmp_path / "d.pages"
+        with PageFile.create(path, [b"x" * 64], 64) as page_file:
+            with pytest.raises(StorageError):
+                page_file.read_page(1)
+            with pytest.raises(StorageError):
+                page_file.read_page(-1)
+
+    def test_wrong_page_size_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            PageFile.create(tmp_path / "bad.pages", [b"xx"], 64)
+
+    def test_corrupt_header_rejected(self, tmp_path):
+        path = tmp_path / "c.pages"
+        path.write_bytes(b"NOPE" + b"\x00" * 100)
+        with pytest.raises(StorageError):
+            PageFile.open(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "t.pages"
+        PageFile.create(path, [b"y" * 64] * 3, 64).close()
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(StorageError):
+            PageFile.open(path)
+
+    def test_read_after_close(self, tmp_path):
+        path = tmp_path / "r.pages"
+        page_file = PageFile.create(path, [b"z" * 64], 64)
+        page_file.close()
+        with pytest.raises(StorageError):
+            page_file.read_page(0)

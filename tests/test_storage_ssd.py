@@ -1,0 +1,111 @@
+"""Tests for the synchronous and threaded SSD access layers."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.storage.layout import GraphStore
+from repro.storage.ssd import SyncDevice, ThreadedSSD
+
+
+@pytest.fixture()
+def page_file(tmp_path, small_rmat):
+    store = GraphStore.from_graph(small_rmat, 256)
+    with store.open_page_file(tmp_path) as handle:
+        yield handle, store
+
+
+class TestSyncDevice:
+    def test_reads_and_counts(self, page_file):
+        handle, store = page_file
+        device = SyncDevice(handle)
+        records = device.read_page(0)
+        assert [r.vertex for r in records] == [
+            r.vertex for r in store.decode_page(0)
+        ]
+        assert device.pages_read == 1
+        assert device.num_pages == store.num_pages
+
+
+class TestThreadedSSD:
+    def test_async_reads_all_pages(self, page_file):
+        handle, store = page_file
+        results: dict[int, list] = {}
+        lock = threading.Lock()
+
+        def callback(records, pid):
+            with lock:
+                results[pid] = records
+
+        with ThreadedSSD(handle, io_workers=3) as ssd:
+            for pid in range(store.num_pages):
+                ssd.async_read(pid, callback, (pid,))
+            ssd.wait_idle()
+        assert set(results) == set(range(store.num_pages))
+        assert ssd.pages_read == store.num_pages
+        for pid, records in results.items():
+            assert [r.vertex for r in records] == [
+                r.vertex for r in store.decode_page(pid)
+            ]
+
+    def test_callbacks_serialized(self, page_file):
+        """Callbacks run on one thread — no two may overlap."""
+        handle, store = page_file
+        active = 0
+        max_active = 0
+        lock = threading.Lock()
+
+        def callback(records):
+            nonlocal active, max_active
+            with lock:
+                active += 1
+                max_active = max(max_active, active)
+            with lock:
+                active -= 1
+
+        with ThreadedSSD(handle, io_workers=4) as ssd:
+            for pid in range(store.num_pages):
+                ssd.async_read(pid, callback)
+            ssd.wait_idle()
+        assert max_active == 1
+
+    def test_callback_error_surfaces(self, page_file):
+        handle, _ = page_file
+
+        def bad_callback(records):
+            raise RuntimeError("boom")
+
+        ssd = ThreadedSSD(handle)
+        ssd.async_read(0, bad_callback)
+        with pytest.raises(DeviceError):
+            ssd.wait_idle()
+        ssd.close()
+
+    def test_read_error_surfaces(self, page_file):
+        handle, store = page_file
+        ssd = ThreadedSSD(handle)
+        ssd.async_read(store.num_pages + 5, lambda records: None)
+        with pytest.raises(DeviceError):
+            ssd.wait_idle()
+        ssd.close()
+
+    def test_use_after_close(self, page_file):
+        handle, _ = page_file
+        ssd = ThreadedSSD(handle)
+        ssd.close()
+        with pytest.raises(DeviceError):
+            ssd.async_read(0, lambda records: None)
+
+    def test_close_idempotent(self, page_file):
+        handle, _ = page_file
+        ssd = ThreadedSSD(handle)
+        ssd.close()
+        ssd.close()
+
+    def test_validation(self, page_file):
+        handle, _ = page_file
+        with pytest.raises(DeviceError):
+            ThreadedSSD(handle, io_workers=0)

@@ -1,0 +1,82 @@
+"""Tests for the disk-based 4-clique join."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_store, triangulate_disk
+from repro.graph import generators
+from repro.graph.ordering import apply_ordering
+from repro.memory import CollectSink, count_cliques
+from repro.subgraph import four_cliques_disk
+
+
+class GroupSink:
+    """Collects nested groups as the join's input."""
+
+    def __init__(self):
+        self.groups: list[tuple[int, int, list[int]]] = []
+        self.count = 0
+
+    def emit(self, u, v, ws):
+        self.groups.append((int(u), int(v), [int(w) for w in ws]))
+        self.count += len(ws)
+
+
+def run_join(graph, *, page_size=256, buffer_pages=4, collect=False):
+    store = make_store(graph, page_size)
+    sink = GroupSink()
+    triangulate_disk(store, buffer_pages=buffer_pages, sink=sink)
+    return four_cliques_disk(store, sink.groups, buffer_pages=6,
+                             collect=collect)
+
+
+class TestFourCliques:
+    def test_complete_graph(self):
+        result = run_join(generators.complete_graph(9))
+        assert result.cliques == 126  # C(9, 4)
+
+    def test_figure1_has_none(self, figure1):
+        assert run_join(figure1).cliques == 0
+
+    def test_triangle_free(self):
+        assert run_join(generators.cycle_graph(30)).cliques == 0
+
+    @pytest.mark.parametrize("seed", [6, 7])
+    def test_matches_in_memory_cliques(self, seed):
+        graph, _ = apply_ordering(
+            generators.holme_kim(250, 6, 0.5, seed=seed), "degree"
+        )
+        result = run_join(graph)
+        assert result.cliques == count_cliques(graph, 4).triangles
+
+    def test_collected_cliques_are_real(self):
+        graph, _ = apply_ordering(
+            generators.holme_kim(150, 5, 0.6, seed=9), "degree"
+        )
+        result = run_join(graph, collect=True)
+        assert len(result.listed) == result.cliques
+        assert len(set(result.listed)) == result.cliques
+        for u, v, w, x in result.listed:
+            assert u < v < w < x
+            for a, b in [(u, v), (u, w), (u, x), (v, w), (v, x), (w, x)]:
+                assert graph.has_edge(a, b)
+
+    def test_chunked_groups_merged(self):
+        """Split groups for one (u, v) prefix must not lose pairs."""
+        graph = generators.complete_graph(10)
+        store = make_store(graph, 256)
+        sink = GroupSink()
+        triangulate_disk(store, buffer_pages=4, sink=sink)
+        # Artificially split every group into singleton chunks.
+        shredded = [(u, v, [w]) for u, v, ws in sink.groups for w in ws]
+        whole = four_cliques_disk(store, sink.groups, buffer_pages=6)
+        split = four_cliques_disk(store, shredded, buffer_pages=6)
+        assert whole.cliques == split.cliques == 210  # C(10, 4)
+
+    def test_buffer_pool_absorbs_reuse(self):
+        graph = generators.complete_graph(16)
+        result = run_join(graph, buffer_pages=8)
+        assert result.buffer_hits > 0
+        assert result.pages_read > 0
+        assert result.elapsed > 0

@@ -1,0 +1,63 @@
+"""Tests for the real-thread OPT engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import triangulate_threaded
+from repro.errors import ConfigurationError
+from repro.graph import generators
+from repro.graph.ordering import apply_ordering
+from repro.memory import CollectSink, canonical_triangles, edge_iterator
+
+
+class TestThreadedCorrectness:
+    def test_figure1(self, figure1, tmp_path):
+        result = triangulate_threaded(figure1, tmp_path, buffer_pages=2,
+                                      page_size=128)
+        assert result.triangles == 5
+
+    @pytest.mark.parametrize("plugin", ["edge-iterator", "vertex-iterator"])
+    @pytest.mark.parametrize("buffer_pages", [2, 6])
+    def test_rmat(self, small_rmat_ordered, tmp_path, plugin, buffer_pages):
+        expected = edge_iterator(small_rmat_ordered).triangles
+        result = triangulate_threaded(
+            small_rmat_ordered, tmp_path, plugin=plugin,
+            buffer_pages=buffer_pages, page_size=256,
+        )
+        assert result.triangles == expected
+
+    def test_exact_listing(self, small_rmat_ordered, tmp_path):
+        reference = CollectSink()
+        edge_iterator(small_rmat_ordered, reference)
+        sink = CollectSink()
+        triangulate_threaded(small_rmat_ordered, tmp_path, buffer_pages=4,
+                             page_size=256, sink=sink)
+        assert canonical_triangles(sink) == canonical_triangles(reference)
+
+    def test_spanning_hub(self, tmp_path):
+        graph = generators.complete_graph(40)
+        result = triangulate_threaded(graph, tmp_path, buffer_pages=4,
+                                      page_size=64)
+        assert result.triangles == 40 * 39 * 38 // 6
+
+    def test_deterministic_counts_across_windows(self, tmp_path):
+        graph, _ = apply_ordering(generators.holme_kim(200, 6, 0.5, seed=3),
+                                  "degree")
+        expected = edge_iterator(graph).triangles
+        for window in (1, 2, 8):
+            result = triangulate_threaded(graph, tmp_path / str(window),
+                                          buffer_pages=4, page_size=256,
+                                          window=window)
+            assert result.triangles == expected
+
+    def test_reports_io_and_iterations(self, small_rmat_ordered, tmp_path):
+        result = triangulate_threaded(small_rmat_ordered, tmp_path,
+                                      buffer_pages=6, page_size=256)
+        assert result.pages_read > 0
+        assert result.iterations > 1
+        assert result.elapsed > 0
+
+    def test_validation(self, figure1, tmp_path):
+        with pytest.raises(ConfigurationError):
+            triangulate_threaded(figure1, tmp_path, buffer_pages=1)

@@ -1,0 +1,109 @@
+"""Invariants of the run traces produced by the OPT driver.
+
+These pin down the accounting the cost analysis (Section 3.3) relies on:
+fill coverage, Δin consistency, request-list ordering and disjointness,
+and conservation of intersection work against the in-memory reference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OPTConfig, make_store, run_opt
+from repro.core.plugins import EdgeIteratorPlugin, MGTPlugin, VertexIteratorPlugin
+from repro.graph import generators
+from repro.graph.ordering import apply_ordering
+from repro.memory import edge_iterator
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph, _ = apply_ordering(generators.holme_kim(400, 8, 0.4, seed=17),
+                              "degree")
+    store = make_store(graph, 512)
+    return graph, store
+
+
+class TestEdgeIteratorTrace:
+    @pytest.fixture(scope="class")
+    def trace(self, setup):
+        _graph, store = setup
+        return run_opt(store, OPTConfig(m_in=4, m_ex=4,
+                                        plugin=EdgeIteratorPlugin()))
+
+    def test_fill_covers_every_page_once(self, trace, setup):
+        _graph, store = setup
+        fills = sum(it.fill_reads + it.fill_buffered for it in trace.iterations)
+        assert fills == store.num_pages
+
+    def test_delta_in_bounded_by_chunk(self, trace):
+        """An iteration cannot save more fills than its chunk has pages."""
+        for iteration in trace.iterations:
+            chunk_pages = len(iteration.internal_page_ops)
+            assert iteration.fill_buffered <= chunk_pages
+            assert iteration.fill_reads + iteration.fill_buffered == chunk_pages
+
+    def test_external_requests_exclude_internal_chunk(self, trace, setup):
+        _graph, store = setup
+        start = 0
+        for iteration in trace.iterations:
+            end = store.align_chunk_end(start, trace.m_in)
+            chunk = set(range(start, end + 1))
+            for read in iteration.external_reads:
+                assert read.pid not in chunk
+            start = end + 1
+
+    def test_external_requests_descending(self, trace):
+        for iteration in trace.iterations:
+            pids = [read.pid for read in iteration.external_reads]
+            assert pids == sorted(pids, reverse=True)
+
+    def test_no_duplicate_requests_per_iteration(self, trace):
+        for iteration in trace.iterations:
+            pids = [read.pid for read in iteration.external_reads]
+            assert len(pids) == len(set(pids))
+
+    def test_ops_conserved_vs_in_memory(self, trace, setup):
+        graph, _store = setup
+        memory_ops = edge_iterator(graph).cpu_ops
+        # Theorem 1 modulo chunk splitting: never less work than the
+        # in-memory method, never more than the chunking overhead bound.
+        assert memory_ops <= trace.total_ops <= 2 * memory_ops
+
+    def test_internal_tasks_match_chunk_pages(self, trace, setup):
+        _graph, store = setup
+        start = 0
+        for iteration in trace.iterations:
+            end = store.align_chunk_end(start, trace.m_in)
+            assert len(iteration.internal_page_ops) == end - start + 1
+            start = end + 1
+
+
+class TestPluginTraceDifferences:
+    def test_vi_trace_same_structure_more_probe_cost(self, setup):
+        _graph, store = setup
+        ei = run_opt(store, OPTConfig(m_in=4, m_ex=4, plugin=EdgeIteratorPlugin()))
+        vi = run_opt(store, OPTConfig(m_in=4, m_ex=4, plugin=VertexIteratorPlugin()))
+        assert vi.triangles == ei.triangles
+        assert len(vi.iterations) == len(ei.iterations)
+        assert vi.total_device_reads == ei.total_device_reads
+        assert vi.total_ops > ei.total_ops  # hash-probe weighting
+
+    def test_mgt_trace_shape(self, setup):
+        _graph, store = setup
+        mgt = run_opt(store, OPTConfig(m_in=7, m_ex=1, plugin=MGTPlugin()))
+        assert mgt.sync_external
+        for iteration in mgt.iterations:
+            # Every iteration streams the whole file, no internal work.
+            assert len(iteration.external_reads) == store.num_pages
+            assert sum(iteration.internal_page_ops) == 0
+            assert all(not read.buffered for read in iteration.external_reads)
+
+    def test_buffered_flags_only_without_rescan(self, setup):
+        _graph, store = setup
+        ei = run_opt(store, OPTConfig(m_in=4, m_ex=4, plugin=EdgeIteratorPlugin()))
+        buffered = sum(it.external_buffered for it in ei.iterations)
+        device = sum(it.external_device_reads for it in ei.iterations)
+        assert buffered + device == sum(
+            len(it.external_reads) for it in ei.iterations
+        )

@@ -1,0 +1,74 @@
+"""Tests for the shared utilities: table formatting and op counters."""
+
+from __future__ import annotations
+
+from repro.util import OpCounter, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "value"], [("a", 1), ("bbbb", 22)])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        # Numeric column right-aligned: both rows end at the same column.
+        assert len(lines[2]) == len(lines[3])
+
+    def test_title_included(self):
+        table = format_table(["x"], [(1,)], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_humanized_numbers(self):
+        table = format_table(["n"], [(1234567,)])
+        assert "1,234,567" in table
+
+    def test_float_formatting(self):
+        table = format_table(["f"], [(0.1234567,), (12345.6,), (12.345,)])
+        assert "0.123" in table
+        assert "12,346" in table
+        assert "12.35" in table or "12.34" in table
+
+    def test_zero(self):
+        assert "0" in format_table(["z"], [(0.0,)])
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert len(table.splitlines()) == 2  # header + rule
+
+
+class TestOpCounter:
+    def test_add_ops_with_phases(self):
+        counter = OpCounter()
+        counter.add_ops(10, phase="internal")
+        counter.add_ops(5, phase="external")
+        counter.add_ops(3)
+        assert counter.cpu_ops == 18
+        assert counter.per_phase == {"internal": 10, "external": 5}
+
+    def test_reads_split_buffered(self):
+        counter = OpCounter()
+        counter.add_read(3)
+        counter.add_read(2, buffered=True)
+        assert counter.pages_read == 3
+        assert counter.pages_buffered == 2
+
+    def test_merge(self):
+        a = OpCounter()
+        a.add_ops(5, phase="x")
+        a.add_read(1)
+        b = OpCounter()
+        b.add_ops(7, phase="x")
+        b.add_write(2)
+        b.triangles = 4
+        a.merge(b)
+        assert a.cpu_ops == 12
+        assert a.per_phase == {"x": 12}
+        assert a.pages_written == 2
+        assert a.triangles == 4
+
+    def test_snapshot(self):
+        counter = OpCounter()
+        counter.add_ops(1)
+        snapshot = counter.snapshot()
+        assert snapshot["cpu_ops"] == 1
+        counter.add_ops(1)
+        assert snapshot["cpu_ops"] == 1  # snapshot is a copy

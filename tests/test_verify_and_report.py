@@ -1,0 +1,58 @@
+"""Tests for the cross-method verifier and the report assembler."""
+
+from __future__ import annotations
+
+from repro.analysis import EXPERIMENT_ORDER, build_report
+from repro.verify import VerificationReport, verify_methods
+
+
+class TestVerifier:
+    def test_all_methods_agree_on_figure1(self, figure1):
+        report = verify_methods(figure1, page_size=128, buffer_pages=4,
+                                include_threaded=False)
+        assert report.consistent
+        assert report.expected == 5
+        assert len(report.counts) >= 10
+        assert report.disagreements() == {}
+
+    def test_includes_threaded_engine(self, figure1):
+        report = verify_methods(figure1, page_size=128, buffer_pages=4,
+                                include_threaded=True)
+        assert "opt:threaded" in report.counts
+        assert report.consistent
+
+    def test_disagreement_detection(self):
+        report = VerificationReport(counts={"a": 5, "b": 5, "c": 7})
+        assert not report.consistent
+        assert report.disagreements() == {"c": 7}
+
+    def test_empty_report(self):
+        report = VerificationReport()
+        assert report.consistent
+        assert report.expected == 0
+
+
+class TestReport:
+    def test_builds_in_canonical_order(self, tmp_path):
+        (tmp_path / "fig3a_buffer_sweep.txt").write_text("sweep data")
+        (tmp_path / "table2_datasets.txt").write_text("dataset data")
+        (tmp_path / "zz_custom_ablation.txt").write_text("ablation data")
+        text = build_report(tmp_path)
+        # canonical entries first, in EXPERIMENT_ORDER...
+        assert text.index("table2_datasets") < text.index("fig3a_buffer_sweep")
+        # ...ad-hoc results appended, never dropped.
+        assert "zz_custom_ablation" in text
+        assert "ablation data" in text
+
+    def test_writes_output_file(self, tmp_path):
+        (tmp_path / "table2_datasets.txt").write_text("x")
+        output = tmp_path / "report.md"
+        build_report(tmp_path, output)
+        assert output.read_text().startswith("# OPT reproduction report")
+
+    def test_order_constant_covers_all_experiments(self):
+        # Every paper experiment id appears in the canonical order.
+        for key in ("table2", "table3", "fig3a", "fig3b", "fig4", "fig5",
+                    "table4", "fig6", "table5", "table6", "fig7a", "fig7b",
+                    "fig7c", "table7"):
+            assert any(key in name for name in EXPERIMENT_ORDER), key
