@@ -23,6 +23,7 @@ from repro.core.plugins import (
 from repro.errors import ConfigurationError
 from repro.graph.graph import Graph
 from repro.memory.base import TriangleSink, TriangulationResult
+from repro.obs import RunReport
 from repro.sim.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.sim.schedule import simulate
 from repro.sim.trace import RunTrace
@@ -84,6 +85,8 @@ def triangulate_disk(
     morphing: bool = True,
     serial: bool | None = None,
     sink: TriangleSink | None = None,
+    report: RunReport | None = None,
+    ideal_cpu_ops: int | None = None,
 ) -> TriangulationResult:
     """Run disk-based OPT triangulation end to end.
 
@@ -102,13 +105,26 @@ def triangulate_disk(
     cores / morphing / serial:
         Simulated execution configuration.  ``serial=None`` auto-selects
         OPT_serial when ``cores == 1``.
+    report / ideal_cpu_ops:
+        With a :class:`~repro.obs.RunReport`, the run records phase spans
+        (pack → run-opt → replay), SSD/buffer counters, and the derived
+        ``overhead_vs_ideal`` figure (Fig. 3a).  The ideal cost uses
+        *ideal_cpu_ops* — the in-memory EdgeIterator≻ op count of the
+        same graph — when given, else the trace's own intersection ops
+        (identical for the edge-iterator plugin).
 
     Returns a :class:`TriangulationResult` whose ``elapsed`` is the
     simulated wall time and whose ``extra`` carries the trace and the
     scheduler result for deeper analysis.
     """
-    store = source if isinstance(source, GraphStore) else make_store(source, page_size)
     plugin = resolve_plugin(plugin)
+    if isinstance(source, GraphStore):
+        store = source
+    elif report is not None:
+        with report.span("pack", page_size=page_size):
+            store = make_store(source, page_size)
+    else:
+        store = make_store(source, page_size)
     total = buffer_pages if buffer_pages is not None else buffer_pages_for_ratio(
         store, buffer_ratio
     )
@@ -118,10 +134,34 @@ def triangulate_disk(
         config = OPTConfig(m_in=max(1, total - 1), m_ex=1, plugin=plugin)
     else:
         config = OPTConfig.even_split(total, plugin=plugin)
-    trace = run_opt(store, config, sink=sink)
     if serial is None:
         serial = cores == 1
-    sim = simulate(trace, cost, cores=cores, morphing=morphing, serial=serial)
+    if report is not None:
+        report.meta.update(
+            engine="triangulate_disk", plugin=plugin.name,
+            num_pages=store.num_pages, buffer_pages=total,
+            m_in=config.m_in, m_ex=config.m_ex, page_size=store.page_size,
+            cores=cores, morphing=morphing, serial=serial,
+        )
+    trace = run_opt(store, config, sink=sink, report=report)
+    if report is not None:
+        with report.span("replay", cores=cores):
+            sim = simulate(trace, cost, cores=cores, morphing=morphing,
+                           serial=serial, report=report)
+        ideal_ops = ideal_cpu_ops if ideal_cpu_ops is not None else trace.total_ops
+        ideal = ideal_elapsed(store, ideal_ops, cost)
+        report.derive("ideal_elapsed", ideal)
+        report.derive("elapsed_simulated", sim.elapsed)
+        if ideal > 0:
+            report.derive("overhead_vs_ideal", sim.elapsed / ideal)
+        report.gauge("run.elapsed_simulated").set(sim.elapsed)
+        report.counter("triangles", phase="total").inc(trace.triangles)
+    else:
+        sim = simulate(trace, cost, cores=cores, morphing=morphing,
+                       serial=serial)
+    extra = {"trace": trace, "sim": sim, "config": config, "store": store}
+    if report is not None:
+        extra["report"] = report
     return TriangulationResult(
         triangles=trace.triangles,
         cpu_ops=trace.total_ops + trace.total_candidate_ops,
@@ -129,7 +169,7 @@ def triangulate_disk(
         pages_buffered=trace.total_fill_buffered,
         elapsed=sim.elapsed,
         iterations=len(trace.iterations),
-        extra={"trace": trace, "sim": sim, "config": config, "store": store},
+        extra=extra,
     )
 
 
@@ -148,7 +188,11 @@ def ideal_elapsed(
 
 
 def replay(trace: RunTrace, cost: CostModel, **kwargs) -> TriangulationResult:
-    """Re-schedule an existing trace under a new configuration."""
+    """Re-schedule an existing trace under a new configuration.
+
+    Accepts the same keyword arguments as :func:`~repro.sim.schedule.simulate`,
+    including ``report=`` to map the replayed timeline into a run report.
+    """
     sim = simulate(trace, cost, **kwargs)
     return TriangulationResult(
         triangles=trace.triangles,

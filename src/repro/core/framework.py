@@ -16,17 +16,45 @@ separation is what makes a single execution serve a whole speed-up curve.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.context import ChunkContext
 from repro.core.plugins import EdgeIteratorPlugin, IteratorPlugin
 from repro.errors import ConfigurationError
 from repro.memory.base import CountSink, TriangleSink
+from repro.obs import RunReport, get_logger
 from repro.sim.trace import ExternalRead, IterationTrace, RunTrace
 from repro.storage.buffer import BufferManager
 from repro.storage.layout import GraphStore
 
 __all__ = ["OPTConfig", "run_opt"]
+
+logger = get_logger(__name__)
+
+
+class _PhaseSink:
+    """Wraps a sink to attribute emitted triangles to the current phase."""
+
+    def __init__(self, inner: TriangleSink, report: RunReport):
+        self._inner = inner
+        self._report = report
+        self.phase = "internal"
+
+    def emit(self, u: int, v: int, ws: Sequence[int]) -> None:
+        self._report.counter("triangles", phase=self.phase).inc(len(ws))
+        self._inner.emit(u, v, ws)
+
+    def __getattr__(self, name):  # pages_written, count, ...
+        return getattr(self._inner, name)
+
+
+def _span(report: RunReport | None, name: str, **attrs):
+    """A report span, or a no-op when observability is off."""
+    if report is None:
+        return nullcontext()
+    return report.span(name, **attrs)
 
 
 @dataclass
@@ -61,6 +89,7 @@ def run_opt(
     store: GraphStore,
     config: OPTConfig,
     sink: TriangleSink | None = None,
+    report: RunReport | None = None,
 ) -> RunTrace:
     """Run OPT over *store* and return the trace (with real triangles).
 
@@ -68,9 +97,18 @@ def run_opt(
     are pinned for their iteration, external pages cycle through the
     remaining frames under LRU — which is how the saved I/O ``Δin``
     arises rather than being assumed.
+
+    With a :class:`~repro.obs.RunReport` *report*, every phase emits a
+    wall-clock span (``fill`` → ``identify-candidates`` →
+    ``external-triangulation`` → ``internal-triangulation`` per
+    iteration), the buffer manager counts hits/misses/evictions into the
+    report's registry, and triangles are attributed to the phase that
+    found them (``triangles{phase=internal}`` / ``{phase=external}``).
     """
     if sink is None:
         sink = CountSink()
+    if report is not None:
+        sink = _PhaseSink(sink, report)
     plugin = config.plugin
     trace = RunTrace(num_pages=store.num_pages, m_in=config.m_in,
                      m_ex=1 if plugin.sync_external else config.m_ex,
@@ -90,80 +128,114 @@ def run_opt(
         pid = end + 1
     max_chunk = max(end - start + 1 for start, end in chunks)
     capacity = max(config.m_in, max_chunk) + config.m_ex
-    buffer = BufferManager(capacity, loader=store.decode_page)
+    buffer = BufferManager(capacity, loader=store.decode_page,
+                           registry=report.registry if report else None)
 
     output_pages_before = getattr(sink, "pages_written", 0)
-    for pid, end in chunks:
-        iteration = IterationTrace()
+    with _span(report, "run-opt", plugin=plugin.name, m_in=config.m_in,
+               m_ex=config.m_ex):
+        for index, (pid, end) in enumerate(chunks):
+            iteration = IterationTrace()
+            logger.debug("iteration %d: internal pages %d..%d", index, pid, end)
 
-        # -- fill the internal area (Algorithm 3 lines 6-8) ------------------
-        chunk_pages = list(range(pid, end + 1))
-        chunk_records = []
-        for page_id in chunk_pages:
-            hit = page_id in buffer
-            frame = buffer.get(page_id, pin=True)
-            if hit and not plugin.rescan_all:
-                iteration.fill_buffered += 1
-            else:
-                iteration.fill_reads += 1
-            chunk_records.append(frame.records)
+            with _span(report, "iteration", index=index):
+                # -- fill the internal area (Algorithm 3 lines 6-8) ----------
+                chunk_pages = list(range(pid, end + 1))
+                chunk_records = []
+                with _span(report, "fill"):
+                    for page_id in chunk_pages:
+                        hit = page_id in buffer
+                        frame = buffer.get(page_id, pin=True)
+                        if hit and not plugin.rescan_all:
+                            iteration.fill_buffered += 1
+                        else:
+                            iteration.fill_reads += 1
+                        chunk_records.append(frame.records)
 
-        v_lo, v_hi = store.chunk_vertex_range(pid, end)
-        adjacency = _assemble_adjacency(chunk_records)
-        ctx = ChunkContext(v_lo, v_hi, adjacency, sink)
+                v_lo, v_hi = store.chunk_vertex_range(pid, end)
+                adjacency = _assemble_adjacency(chunk_records)
+                ctx = ChunkContext(v_lo, v_hi, adjacency, sink)
 
-        # -- candidate identification (Algorithm 7 per record) ---------------
-        for records in chunk_records:
-            for record in records:
-                candidates, ops = plugin.candidates_for_record(ctx, record)
-                iteration.candidate_ops += ops
-                for candidate in candidates:
-                    ctx.add_request(int(candidate), record.vertex)
+                # -- candidate identification (Algorithm 7 per record) -------
+                with _span(report, "identify-candidates"):
+                    for records in chunk_records:
+                        for record in records:
+                            candidates, ops = plugin.candidates_for_record(
+                                ctx, record)
+                            iteration.candidate_ops += ops
+                            for candidate in candidates:
+                                ctx.add_request(int(candidate), record.vertex)
 
-        # -- build the request list (Algorithm 4) ----------------------------
-        if plugin.rescan_all:
-            # MGT streams the whole input file once per iteration (its I/O
-            # cost bound, Eq. 7); no buffering credit for re-read pages.
-            ordered = list(range(store.num_pages))
-        else:
-            pages_needed: set[int] = set()
-            for candidate in ctx.requesters:
-                pages_needed.update(store.pages_of_candidate(candidate))
-            # Descending page ids: the next chunk's pages are loaded last
-            # and survive in the external area (the paper's Δin trick).
-            ordered = sorted(pages_needed - set(chunk_pages), reverse=True)
+                    # -- build the request list (Algorithm 4) ----------------
+                    if plugin.rescan_all:
+                        # MGT streams the whole input file once per iteration
+                        # (its I/O cost bound, Eq. 7); no buffering credit for
+                        # re-read pages.
+                        ordered = list(range(store.num_pages))
+                    else:
+                        pages_needed: set[int] = set()
+                        for candidate in ctx.requesters:
+                            pages_needed.update(
+                                store.pages_of_candidate(candidate))
+                        # Descending page ids: the next chunk's pages are
+                        # loaded last and survive in the external area (the
+                        # paper's Δin trick).
+                        ordered = sorted(pages_needed - set(chunk_pages),
+                                         reverse=True)
 
-        # -- external triangulation (Algorithm 9 per page) --------------------
-        for page_id in ordered:
-            hit = page_id in buffer
-            frame = buffer.get(page_id, pin=True)
-            ops = 0
-            for record in frame.records:
-                if record.vertex in ctx.requesters:
-                    ops += plugin.external_ops_for_record(ctx, record)
-            buffer.unpin(page_id)
-            buffered = hit and not plugin.rescan_all
-            iteration.external_reads.append(
-                ExternalRead(pid=page_id, cpu_ops=ops, buffered=buffered)
-            )
+                # -- external triangulation (Algorithm 9 per page) -----------
+                if report is not None:
+                    sink.phase = "external"
+                with _span(report, "external-triangulation"):
+                    for page_id in ordered:
+                        hit = page_id in buffer
+                        frame = buffer.get(page_id, pin=True)
+                        ops = 0
+                        for record in frame.records:
+                            if record.vertex in ctx.requesters:
+                                ops += plugin.external_ops_for_record(
+                                    ctx, record)
+                        buffer.unpin(page_id)
+                        buffered = hit and not plugin.rescan_all
+                        iteration.external_reads.append(
+                            ExternalRead(pid=page_id, cpu_ops=ops,
+                                         buffered=buffered)
+                        )
 
-        # -- internal triangulation (Algorithm 5, parallel per page) ----------
-        for records in chunk_records:
-            iteration.internal_page_ops.append(
-                plugin.internal_ops_for_page(ctx, records)
-            )
+                # -- internal triangulation (Algorithm 5, per page) ----------
+                if report is not None:
+                    sink.phase = "internal"
+                with _span(report, "internal-triangulation"):
+                    for records in chunk_records:
+                        iteration.internal_page_ops.append(
+                            plugin.internal_ops_for_page(ctx, records)
+                        )
 
-        # -- unpin the chunk (Algorithm 3 lines 12-13) -------------------------
-        for page_id in chunk_pages:
-            buffer.unpin(page_id)
+                # -- unpin the chunk (Algorithm 3 lines 12-13) ---------------
+                for page_id in chunk_pages:
+                    buffer.unpin(page_id)
 
-        output_pages_now = getattr(sink, "pages_written", 0)
-        iteration.output_pages = output_pages_now - output_pages_before
-        output_pages_before = output_pages_now
+            output_pages_now = getattr(sink, "pages_written", 0)
+            iteration.output_pages = output_pages_now - output_pages_before
+            output_pages_before = output_pages_now
 
-        trace.iterations.append(iteration)
+            if report is not None:
+                report.counter("opt.fill.reads").inc(iteration.fill_reads)
+                report.counter("opt.fill.buffered").inc(iteration.fill_buffered)
+                report.counter("opt.candidate.ops").inc(iteration.candidate_ops)
+                report.counter("opt.internal.ops").inc(iteration.internal_ops)
+                report.counter("opt.external.ops").inc(iteration.external_ops)
+                report.counter("opt.external.reads").inc(
+                    iteration.external_device_reads)
+                report.counter("opt.external.buffered").inc(
+                    iteration.external_buffered)
+                report.counter("opt.iterations").inc()
+
+            trace.iterations.append(iteration)
 
     trace.triangles = getattr(sink, "count", 0)
+    if report is not None:
+        report.counter("opt.pages_read").inc(trace.total_device_reads)
     return trace
 
 

@@ -30,11 +30,14 @@ from repro.core.plugins import IteratorPlugin
 from repro.errors import ConfigurationError
 from repro.graph.graph import Graph
 from repro.memory.base import CountSink, TriangleSink, TriangulationResult
+from repro.obs import RunReport, get_logger
 from repro.storage.layout import GraphStore
 from repro.storage.page import DEFAULT_PAGE_SIZE, PageRecord
 from repro.storage.ssd import ThreadedSSD
 
 __all__ = ["triangulate_threaded"]
+
+logger = get_logger(__name__)
 
 
 class _LockedSink:
@@ -61,6 +64,7 @@ def triangulate_threaded(
     io_workers: int = 4,
     window: int = 4,
     sink: TriangleSink | None = None,
+    report: RunReport | None = None,
 ) -> TriangulationResult:
     """Run OPT with real threads and real file I/O.
 
@@ -68,12 +72,13 @@ def triangulate_threaded(
     split evenly into internal and external areas as in the paper, and
     ``window`` bounds the outstanding external read requests (the
     external area's frame count in flight).
+
+    With a :class:`~repro.obs.RunReport` *report*, the SSD counts device
+    reads, async-read queue depth, and callback latency into the report's
+    registry, and each iteration emits a wall-clock span.
     """
     if buffer_pages < 2:
         raise ConfigurationError("buffer must hold at least two pages")
-    store = source if isinstance(source, GraphStore) else GraphStore.from_graph(
-        source, page_size
-    )
     plugin = resolve_plugin(plugin)
     if plugin.rescan_all:
         raise ConfigurationError(
@@ -81,31 +86,61 @@ def triangulate_threaded(
             "full-rescan plugins (MGT) use synchronous streaming — run them "
             "through triangulate_disk instead"
         )
+    if isinstance(source, GraphStore):
+        store = source
+    elif report is not None:
+        with report.span("pack", page_size=page_size):
+            store = GraphStore.from_graph(source, page_size)
+    else:
+        store = GraphStore.from_graph(source, page_size)
     m_in = buffer_pages // 2
     base_sink = sink if sink is not None else CountSink()
     locked_sink = _LockedSink(base_sink)
+    if report is not None:
+        report.meta.update(
+            engine="triangulate_threaded", plugin=plugin.name,
+            num_pages=store.num_pages, buffer_pages=buffer_pages,
+            io_workers=io_workers, window=window,
+        )
 
     start = time.perf_counter()
     iterations = 0
     page_file = store.open_page_file(directory)
     try:
-        with ThreadedSSD(page_file, io_workers=io_workers) as ssd:
+        registry = report.registry if report is not None else None
+        with ThreadedSSD(page_file, io_workers=io_workers,
+                         registry=registry) as ssd:
             pid = 0
             while pid < store.num_pages:
                 end = store.align_chunk_end(pid, m_in)
+                logger.debug("threaded iteration %d: pages %d..%d",
+                             iterations, pid, end)
+                if report is not None:
+                    with report.span("iteration", index=iterations):
+                        _run_iteration(store, ssd, plugin, locked_sink,
+                                       pid, end, window)
+                else:
+                    _run_iteration(store, ssd, plugin, locked_sink,
+                                   pid, end, window)
                 iterations += 1
-                _run_iteration(store, ssd, plugin, locked_sink, pid, end, window)
                 pid = end + 1
             pages_read = ssd.pages_read
     finally:
         page_file.close()
     elapsed = time.perf_counter() - start
+    if report is not None:
+        report.gauge("run.elapsed_wall").set(elapsed)
+        report.counter("triangles", phase="total").inc(locked_sink.count)
+        report.counter("opt.iterations").inc(iterations)
+    extra = {"engine": "threaded", "store": store}
+    if report is not None:
+        extra["report"] = report
     return TriangulationResult(
         triangles=locked_sink.count,
         pages_read=pages_read,
         elapsed=elapsed,
         iterations=iterations,
-        extra={"engine": "threaded", "store": store},
+        extra=extra,
     )
 
 

@@ -1,0 +1,43 @@
+"""Unified observability: metrics registry, phase spans, run reports.
+
+Every measurement the reproduction makes — I/O page counts, intersection
+operations, buffer hit rates, simulated and wall-clock phase times — flows
+through this package so that one run produces one comparable artifact:
+
+* :class:`MetricsRegistry` — dependency-free counters, gauges, and
+  histograms with labels, safe to update from the SSD callback thread;
+* :class:`SpanTracker` / ``span()`` — hierarchical phase timing carrying
+  both wall-clock seconds and simulated seconds in the same tree;
+* :class:`RunReport` — the export path: JSON / JSONL serialization, an
+  ASCII summary table, and a stable schema that ``BENCH_*.json``
+  trajectory files and the CLI's ``--report`` flag share.
+
+The engines accept ``report=`` and record into it; nothing here imports
+anything outside the standard library, so storage/sim/core modules can
+depend on it freely.
+"""
+
+from repro.obs.logsetup import configure_logging, get_logger
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    RunReport,
+    validate_report_dict,
+)
+from repro.obs.spans import Span, SpanTracker
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunReport",
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "Span",
+    "SpanTracker",
+    "configure_logging",
+    "get_logger",
+    "validate_report_dict",
+]

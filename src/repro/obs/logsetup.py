@@ -1,0 +1,50 @@
+"""Stdlib logging for the ``repro.*`` namespace.
+
+Library modules log through ``get_logger(__name__)`` — never ``print`` —
+and stay silent unless an application configures handlers.  The CLI's
+``--verbose`` / ``--quiet`` flags call :func:`configure_logging`, which
+installs one stderr handler on the ``repro`` root logger.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["configure_logging", "get_logger"]
+
+ROOT = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro.*`` hierarchy.
+
+    Accepts either a module ``__name__`` (already ``repro.…``) or a bare
+    suffix like ``"obs"``.
+    """
+    if name == ROOT or name.startswith(ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT}.{name}")
+
+
+def configure_logging(verbosity: int = 0) -> logging.Logger:
+    """Configure the ``repro`` root logger for CLI use.
+
+    ``verbosity`` counts ``-v`` flags minus ``-q`` flags: ``<= -1`` shows
+    only errors, ``0`` warnings (the default), ``1`` info, ``>= 2`` debug.
+    Idempotent: reconfigures the existing handler rather than stacking.
+    """
+    level = {-1: logging.ERROR, 0: logging.WARNING, 1: logging.INFO}.get(
+        max(-1, min(verbosity, 2)), logging.DEBUG
+    )
+    root = logging.getLogger(ROOT)
+    root.setLevel(level)
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        root.addHandler(handler)
+    for handler in root.handlers:
+        handler.setLevel(level)
+    root.propagate = False
+    return root

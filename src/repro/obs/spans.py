@@ -1,0 +1,162 @@
+"""Hierarchical phase spans carrying wall-clock *and* simulated time.
+
+An OPT run has two timelines: the real seconds the Python process spends
+(packing pages, driving the algorithm) and the simulated seconds the
+discrete-event scheduler charges (the numbers the paper's figures plot).
+A :class:`Span` holds both — ``wall_elapsed`` from ``perf_counter`` when
+the span is entered as a context manager, ``sim_elapsed`` when a
+simulated timeline is mapped into the tree via :meth:`SpanTracker.add` —
+so a report shows ``pack -> run-opt -> replay`` with real time next to
+``fill / internal / external`` with simulated time, in one tree.
+
+The tracker keeps a per-thread open-span stack: spans opened on the SSD
+callback thread attach under that thread's own stack (or become roots)
+instead of corrupting the main thread's nesting.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "SpanTracker"]
+
+
+@dataclass
+class Span:
+    """One named phase: attributes, children, and its two durations."""
+
+    name: str
+    attrs: dict = field(default_factory=dict)
+    wall_elapsed: float | None = None
+    sim_elapsed: float | None = None
+    children: list["Span"] = field(default_factory=list)
+
+    def child(self, name: str) -> "Span | None":
+        """First direct child named *name*, or None."""
+        for span in self.children:
+            if span.name == name:
+                return span
+        return None
+
+    def find(self, name: str) -> "Span | None":
+        """Depth-first search for the first span named *name*."""
+        if self.name == name:
+            return self
+        for span in self.children:
+            found = span.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def iter(self):
+        """Yield this span and every descendant, depth first."""
+        yield self
+        for span in self.children:
+            yield from span.iter()
+
+    def total_sim(self) -> float:
+        """This span's simulated time, or the sum over its children."""
+        if self.sim_elapsed is not None:
+            return self.sim_elapsed
+        return sum(child.total_sim() for child in self.children)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "attrs": self.attrs,
+            "wall_elapsed": self.wall_elapsed,
+            "sim_elapsed": self.sim_elapsed,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(
+            name=data["name"],
+            attrs=dict(data.get("attrs", {})),
+            wall_elapsed=data.get("wall_elapsed"),
+            sim_elapsed=data.get("sim_elapsed"),
+            children=[cls.from_dict(c) for c in data.get("children", [])],
+        )
+
+
+class SpanTracker:
+    """Builds the span tree; thread-safe against concurrent recorders."""
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._lock = threading.Lock()
+        self._stacks = threading.local()
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = []
+            self._stacks.stack = stack
+        return stack
+
+    def _attach(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self.roots.append(span)
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a wall-clock-timed span; nests under the innermost open one."""
+        span = Span(name, attrs=dict(attrs))
+        self._attach(span)
+        stack = self._stack()
+        stack.append(span)
+        start = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.wall_elapsed = time.perf_counter() - start
+            stack.pop()
+
+    def add(
+        self,
+        name: str,
+        *,
+        sim_elapsed: float | None = None,
+        wall_elapsed: float | None = None,
+        parent: Span | None = None,
+        **attrs,
+    ) -> Span:
+        """Record a span without timing it (simulated timelines).
+
+        Attaches under *parent* when given, otherwise under the calling
+        thread's innermost open span (or as a new root).
+        """
+        span = Span(name, attrs=dict(attrs), wall_elapsed=wall_elapsed,
+                    sim_elapsed=sim_elapsed)
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self._attach(span)
+        return span
+
+    def find(self, name: str) -> Span | None:
+        with self._lock:
+            roots = list(self.roots)
+        for root in roots:
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def to_list(self) -> list[dict]:
+        with self._lock:
+            return [span.to_dict() for span in self.roots]
+
+    @classmethod
+    def from_list(cls, data: list[dict]) -> "SpanTracker":
+        tracker = cls()
+        tracker.roots = [Span.from_dict(item) for item in data]
+        return tracker

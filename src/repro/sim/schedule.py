@@ -114,6 +114,7 @@ def _simulate_iteration(
     cores: int,
     morphing: bool,
     serial: bool,
+    stats: dict | None = None,
 ) -> IterationTiming:
     latency = cost.page_read_time
     fill_io = iteration.fill_reads * latency / cost.channels
@@ -172,6 +173,8 @@ def _simulate_iteration(
             if internal:
                 return "int", internal.popleft(), None
             if morphing and ready:
+                if stats is not None:
+                    stats["morph_events"] = stats.get("morph_events", 0) + 1
                 read = ready.popleft()
                 return "ext", cost.cpu(read.cpu_ops), read
             return None
@@ -183,6 +186,8 @@ def _simulate_iteration(
         # internal work while reads are in flight would stall the
         # issue-on-completion pipeline of Algorithm 9.
         if morphing and internal and not pending and in_flight == 0:
+            if stats is not None:
+                stats["morph_events"] = stats.get("morph_events", 0) + 1
             return "int", internal.popleft(), None
         return None
 
@@ -253,17 +258,25 @@ def simulate(
     cores: int = 1,
     morphing: bool = True,
     serial: bool = False,
+    report=None,
 ) -> SimResult:
     """Replay *trace* under the given configuration.
 
     ``serial=True`` forces one core and disables macro overlap, yielding
     the paper's ``OPT_serial``.  Returns elapsed simulated seconds plus
     per-iteration timings (Figure 4's raw data).
+
+    With a :class:`~repro.obs.RunReport` *report*, the simulated timeline
+    is mapped into the report's span tree (one ``simulate`` span with
+    per-iteration ``fill`` / ``internal`` / ``external`` children, all in
+    simulated seconds) and the scheduler's counters — device reads and
+    thread-morphing events — land in its registry.
     """
     if cores < 1:
         raise SimulationError("cores must be >= 1")
     if serial:
         cores = 1
+    stats: dict = {}
     if trace.sync_external:
         timings = [
             _simulate_sync_iteration(iteration, cost, cores)
@@ -271,7 +284,8 @@ def simulate(
         ]
     else:
         timings = [
-            _simulate_iteration(iteration, trace.m_ex, cost, cores, morphing, serial)
+            _simulate_iteration(iteration, trace.m_ex, cost, cores, morphing,
+                                serial, stats)
             for iteration in trace.iterations
         ]
     result = SimResult(
@@ -283,4 +297,31 @@ def simulate(
         cpu_time=cost.cpu(trace.total_ops),
         read_io_time=cost.read_io(trace.total_device_reads),
     )
+    if report is not None:
+        _record(result, timings, stats, report)
     return result
+
+
+def _record(result: SimResult, timings: list[IterationTiming], stats: dict,
+            report) -> None:
+    """Map one replay into *report*: simulated span tree plus counters."""
+    parent = report.spans.add(
+        "simulate", sim_elapsed=result.elapsed, cores=result.cores,
+        morphing=result.morphing, serial=result.serial,
+    )
+    for index, timing in enumerate(timings):
+        iteration = report.spans.add("iteration", parent=parent,
+                                     sim_elapsed=timing.elapsed, index=index)
+        report.spans.add("fill", parent=iteration,
+                         sim_elapsed=timing.fill_time)
+        report.spans.add("internal-triangulation", parent=iteration,
+                         sim_elapsed=timing.internal_time)
+        report.spans.add("external-triangulation", parent=iteration,
+                         sim_elapsed=timing.external_time)
+    report.counter("sim.device_reads").inc(
+        sum(t.device_reads for t in timings)
+    )
+    report.counter("sim.morph.events").inc(stats.get("morph_events", 0))
+    report.gauge("sim.elapsed").set(result.elapsed)
+    report.gauge("sim.cpu_time").set(result.cpu_time)
+    report.gauge("sim.read_io_time").set(result.read_io_time)

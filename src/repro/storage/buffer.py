@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import BufferError_
+from repro.obs import MetricsRegistry
 from repro.storage.page import PageRecord
 
 __all__ = ["BufferManager", "Frame"]
@@ -37,19 +38,36 @@ class BufferManager:
     """A page buffer with *capacity* frames and LRU replacement.
 
     ``loader(pid)`` must return the decoded records of page *pid*; it is
-    invoked exactly once per miss.  Hits and misses are counted so the
-    engines can report the paper's ``Δin`` (reads absorbed by buffering).
+    invoked exactly once per miss.  Hits, misses, and evictions count
+    through the ``buffer.*`` counters of *registry* (a private registry
+    when none is given) so the engines can report the paper's ``Δin``
+    (reads absorbed by buffering); the historical ``hits`` / ``misses`` /
+    ``evictions`` attributes remain available as properties.
     """
 
-    def __init__(self, capacity: int, loader: Callable[[int], list[PageRecord]]):
+    def __init__(self, capacity: int, loader: Callable[[int], list[PageRecord]],
+                 *, registry: MetricsRegistry | None = None):
         if capacity < 1:
             raise BufferError_("buffer capacity must be at least one frame")
         self.capacity = capacity
         self._loader = loader
         self._frames: OrderedDict[int, Frame] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._hits = self.registry.counter("buffer.hits")
+        self._misses = self.registry.counter("buffer.misses")
+        self._evictions = self.registry.counter("buffer.evictions")
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
 
     # -- queries -----------------------------------------------------------
 
@@ -79,10 +97,10 @@ class BufferManager:
         """
         frame = self._frames.get(pid)
         if frame is not None:
-            self.hits += 1
+            self._hits.inc()
             self._frames.move_to_end(pid)
         else:
-            self.misses += 1
+            self._misses.inc()
             self._ensure_free_frame()
             frame = Frame(pid, self._loader(pid))
             self._frames[pid] = frame
@@ -133,7 +151,7 @@ class BufferManager:
         for pid, frame in self._frames.items():  # LRU order
             if frame.pin_count == 0:
                 del self._frames[pid]
-                self.evictions += 1
+                self._evictions.inc()
                 return
         raise BufferError_(
             f"all {self.capacity} frames pinned; cannot load another page"

@@ -21,29 +21,49 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Callable, Sequence
 
 from repro.errors import DeviceError
+from repro.obs import MetricsRegistry, get_logger
 from repro.storage.page import PageRecord, SlottedPage
 from repro.storage.pagefile import PageFile
 
 __all__ = ["SyncDevice", "ThreadedSSD"]
 
+#: Both device models account device reads through this registry counter,
+#: so a run report shows one ``ssd.pages_read`` regardless of which
+#: access layer served the workload.
+PAGES_READ_METRIC = "ssd.pages_read"
+
+logger = get_logger(__name__)
+
 
 class SyncDevice:
-    """Blocking page reader over a page file, with read accounting."""
+    """Blocking page reader over a page file, with read accounting.
 
-    def __init__(self, page_file: PageFile):
+    Reads count through the ``ssd.pages_read`` counter of *registry* (a
+    private registry when none is given); the historical ``pages_read``
+    attribute remains available as a property.
+    """
+
+    def __init__(self, page_file: PageFile, *,
+                 registry: MetricsRegistry | None = None):
         self._page_file = page_file
-        self.pages_read = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._pages_read = self.registry.counter(PAGES_READ_METRIC)
 
     @property
     def num_pages(self) -> int:
         return self._page_file.num_pages
 
+    @property
+    def pages_read(self) -> int:
+        return self._pages_read.value
+
     def read_page(self, pid: int) -> list[PageRecord]:
         """Read and decode page *pid* synchronously."""
-        self.pages_read += 1
+        self._pages_read.inc()
         return SlottedPage.from_bytes(self._page_file.read_page(pid)).records()
 
 
@@ -59,11 +79,16 @@ class ThreadedSSD:
 
     _SHUTDOWN = object()
 
-    def __init__(self, page_file: PageFile, *, io_workers: int = 4):
+    def __init__(self, page_file: PageFile, *, io_workers: int = 4,
+                 registry: MetricsRegistry | None = None):
         if io_workers < 1:
             raise DeviceError("io_workers must be >= 1")
         self._page_file = page_file
-        self.pages_read = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._pages_read = self.registry.counter(PAGES_READ_METRIC)
+        self._async_reads = self.registry.counter("ssd.async_reads")
+        self._queue_depth = self.registry.histogram("ssd.queue.depth")
+        self._callback_latency = self.registry.histogram("ssd.callback.latency")
         self._read_queue: queue.Queue = queue.Queue()
         self._callback_queue: queue.Queue = queue.Queue()
         self._outstanding = 0
@@ -87,6 +112,10 @@ class ThreadedSSD:
     def num_pages(self) -> int:
         return self._page_file.num_pages
 
+    @property
+    def pages_read(self) -> int:
+        return self._pages_read.value
+
     # -- public API ---------------------------------------------------------
 
     def async_read(
@@ -105,6 +134,9 @@ class ThreadedSSD:
             raise DeviceError("device is closed")
         with self._lock:
             self._outstanding += 1
+            depth = self._outstanding
+        self._async_reads.inc()
+        self._queue_depth.observe(depth)
         self._read_queue.put((pid, callback, tuple(args)))
 
     def wait_idle(self) -> None:
@@ -149,21 +181,24 @@ class ThreadedSSD:
             except BaseException as exc:  # surface on wait_idle
                 self._fail(exc)
                 continue
-            with self._lock:
-                self.pages_read += 1
-            self._callback_queue.put((callback, records, args))
+            self._pages_read.inc()
+            self._callback_queue.put((callback, records, args,
+                                      time.perf_counter()))
 
     def _callback_loop(self) -> None:
         while True:
             item = self._callback_queue.get()
             if item is self._SHUTDOWN:
                 return
-            callback, records, args = item
+            callback, records, args, completed_at = item
             try:
                 callback(records, *args)
             except BaseException as exc:
                 self._fail(exc)
                 continue
+            # Queue wait + callback execution: the latency between a read
+            # completing and its triangulation work being done.
+            self._callback_latency.observe(time.perf_counter() - completed_at)
             self._finish_one()
 
     def _finish_one(self) -> None:
@@ -173,6 +208,7 @@ class ThreadedSSD:
                 self._idle.notify_all()
 
     def _fail(self, exc: BaseException) -> None:
+        logger.debug("asynchronous read failed: %r", exc)
         with self._idle:
             self._failure = exc
             self._outstanding -= 1

@@ -20,6 +20,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.obs import MetricsRegistry
+
 __all__ = [
     "IntersectionKernel",
     "gallop_intersect",
@@ -146,20 +148,37 @@ _KERNELS = {
 }
 
 
-def resolve_kernel(kernel: IntersectionKernel | str):
+def resolve_kernel(kernel: IntersectionKernel | str,
+                   registry: MetricsRegistry | None = None):
     """Return the ``(result, ops)`` kernel callable for *kernel*.
 
     ``IntersectionKernel.NUMPY`` resolves to a wrapper around
-    :func:`intersect_sorted` that charges the analytic op count.
+    :func:`intersect_sorted` that charges the analytic op count.  With a
+    *registry*, every call additionally folds its op count into the
+    ``intersect.ops{kernel=...}`` counter (and bumps ``intersect.calls``),
+    so kernel-level CPU cost shows up in run reports without any caller
+    bookkeeping.
     """
     kernel = IntersectionKernel(kernel)
     if kernel is IntersectionKernel.NUMPY:
 
-        def numpy_kernel(a, b):
+        def base(a, b):
             a_arr = np.asarray(a, dtype=np.int64)
             b_arr = np.asarray(b, dtype=np.int64)
             result = intersect_sorted(a_arr, b_arr)
             return list(result), intersect_count_ops(len(a_arr), len(b_arr))
 
-        return numpy_kernel
-    return _KERNELS[kernel]
+    else:
+        base = _KERNELS[kernel]
+    if registry is None:
+        return base
+    ops_counter = registry.counter("intersect.ops", kernel=kernel.value)
+    calls_counter = registry.counter("intersect.calls", kernel=kernel.value)
+
+    def counted(a, b):
+        result, ops = base(a, b)
+        ops_counter.inc(ops)
+        calls_counter.inc()
+        return result, ops
+
+    return counted

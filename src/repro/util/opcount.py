@@ -1,11 +1,28 @@
-"""Operation counters shared by engines and the cost model."""
+"""Operation counters shared by engines and the cost model.
+
+Since the observability layer landed, :class:`OpCounter` is a thin facade
+over a :class:`~repro.obs.MetricsRegistry`: every count lives in a
+registry counter (``cpu.ops``, ``io.pages_read``, ``io.pages_buffered``,
+``io.pages_written``, ``triangles.total``, and per-phase
+``cpu.ops.phase{phase=...}``), so engines that already carry a registry
+can hand it to the counter and have one export path.  The historical
+attribute API (``counter.cpu_ops`` etc.) is preserved on top.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.obs import MetricsRegistry
+
+__all__ = ["OpCounter"]
+
+_CPU_OPS = "cpu.ops"
+_CPU_OPS_PHASE = "cpu.ops.phase"
+_PAGES_READ = "io.pages_read"
+_PAGES_WRITTEN = "io.pages_written"
+_PAGES_BUFFERED = "io.pages_buffered"
+_TRIANGLES = "triangles.total"
 
 
-@dataclass
 class OpCounter:
     """Accumulates CPU operation and I/O page counts for one run.
 
@@ -15,39 +32,92 @@ class OpCounter:
     absorbed by the buffer pool (the paper's saved I/O ``Δin``).
     """
 
-    cpu_ops: int = 0
-    pages_read: int = 0
-    pages_written: int = 0
-    pages_buffered: int = 0  # read requests satisfied from the buffer (Δin)
-    triangles: int = 0
-    per_phase: dict[str, int] = field(default_factory=dict)
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    # -- recording ----------------------------------------------------------
 
     def add_ops(self, ops: int, phase: str | None = None) -> None:
         """Add *ops* CPU operations, optionally attributed to *phase*."""
-        self.cpu_ops += ops
+        self.registry.counter(_CPU_OPS).inc(ops)
         if phase is not None:
-            self.per_phase[phase] = self.per_phase.get(phase, 0) + ops
+            self.registry.counter(_CPU_OPS_PHASE, phase=phase).inc(ops)
 
     def add_read(self, pages: int = 1, buffered: bool = False) -> None:
         """Record a page-read request; *buffered* reads cost no device I/O."""
         if buffered:
-            self.pages_buffered += pages
+            self.registry.counter(_PAGES_BUFFERED).inc(pages)
         else:
-            self.pages_read += pages
+            self.registry.counter(_PAGES_READ).inc(pages)
 
     def add_write(self, pages: int = 1) -> None:
         """Record *pages* written to the device."""
-        self.pages_written += pages
+        self.registry.counter(_PAGES_WRITTEN).inc(pages)
 
     def merge(self, other: "OpCounter") -> None:
         """Fold *other*'s counts into this counter."""
-        self.cpu_ops += other.cpu_ops
-        self.pages_read += other.pages_read
-        self.pages_written += other.pages_written
-        self.pages_buffered += other.pages_buffered
-        self.triangles += other.triangles
+        self.registry.counter(_CPU_OPS).inc(other.cpu_ops)
+        self.registry.counter(_PAGES_READ).inc(other.pages_read)
+        self.registry.counter(_PAGES_WRITTEN).inc(other.pages_written)
+        self.registry.counter(_PAGES_BUFFERED).inc(other.pages_buffered)
+        self.registry.counter(_TRIANGLES).inc(other.triangles)
         for phase, ops in other.per_phase.items():
-            self.per_phase[phase] = self.per_phase.get(phase, 0) + ops
+            self.registry.counter(_CPU_OPS_PHASE, phase=phase).inc(ops)
+
+    # -- attribute API (backed by the registry) -----------------------------
+
+    def _set(self, name: str, value: int) -> None:
+        counter = self.registry.counter(name)
+        counter.inc(value - counter.value)  # counters only grow
+
+    @property
+    def cpu_ops(self) -> int:
+        return self.registry.counter(_CPU_OPS).value
+
+    @cpu_ops.setter
+    def cpu_ops(self, value: int) -> None:
+        self._set(_CPU_OPS, value)
+
+    @property
+    def pages_read(self) -> int:
+        return self.registry.counter(_PAGES_READ).value
+
+    @pages_read.setter
+    def pages_read(self, value: int) -> None:
+        self._set(_PAGES_READ, value)
+
+    @property
+    def pages_written(self) -> int:
+        return self.registry.counter(_PAGES_WRITTEN).value
+
+    @pages_written.setter
+    def pages_written(self, value: int) -> None:
+        self._set(_PAGES_WRITTEN, value)
+
+    @property
+    def pages_buffered(self) -> int:
+        return self.registry.counter(_PAGES_BUFFERED).value
+
+    @pages_buffered.setter
+    def pages_buffered(self, value: int) -> None:
+        self._set(_PAGES_BUFFERED, value)
+
+    @property
+    def triangles(self) -> int:
+        return self.registry.counter(_TRIANGLES).value
+
+    @triangles.setter
+    def triangles(self, value: int) -> None:
+        self._set(_TRIANGLES, value)
+
+    @property
+    def per_phase(self) -> dict[str, int]:
+        """Per-phase CPU ops as a plain dict (a copy, not a live view)."""
+        out: dict[str, int] = {}
+        for metric in self.registry.instruments():
+            if metric.kind == "counter" and metric.name == _CPU_OPS_PHASE:
+                out[metric.labels["phase"]] = metric.value
+        return out
 
     def snapshot(self) -> dict[str, int]:
         """Return a plain-dict copy of the scalar counters."""

@@ -1,0 +1,225 @@
+"""Unit tests for the observability layer (repro.obs)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    RunReport,
+    SpanTracker,
+    configure_logging,
+    get_logger,
+    validate_report_dict,
+)
+
+
+class TestCounters:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert registry.value("x") == 5
+
+    def test_interning_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        a = registry.counter("ssd.pages_read")
+        b = registry.counter("ssd.pages_read")
+        assert a is b
+        labeled = registry.counter("ssd.pages_read", device="1")
+        assert labeled is not a
+        labeled.inc(2)
+        assert a.value == 0 and labeled.value == 2
+
+    def test_counter_cannot_decrease(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_label_key_formatting(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("triangles", phase="internal")
+        assert counter.key == "triangles{phase=internal}"
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["triangles{phase=internal}"] == 0
+
+
+class TestGauges:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(3.0)
+        gauge.add(-1.5)
+        assert gauge.value == 1.5
+
+
+class TestHistograms:
+    def test_summary_statistics(self):
+        histogram = MetricsRegistry().histogram("lat")
+        for value in [1, 2, 3, 4, 5]:
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.sum == 15
+        assert histogram.mean == 3
+        assert histogram.min == 1 and histogram.max == 5
+        assert histogram.percentile(50) == 3
+        summary = histogram.summary()
+        assert summary["count"] == 5 and summary["p50"] == 3
+
+    def test_reservoir_bounded(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("big")
+        histogram.max_samples = 10
+        for value in range(100):
+            histogram.observe(value)
+        assert histogram.count == 100
+        assert len(histogram._samples) == 10
+
+    def test_empty_percentile(self):
+        histogram = MetricsRegistry().histogram("empty")
+        assert histogram.percentile(99) == 0.0
+
+
+class TestThreadSafety:
+    def test_concurrent_counter_updates_are_exact(self):
+        """The SSD callback thread and main thread update one counter."""
+        registry = MetricsRegistry()
+        counter = registry.counter("ssd.pages_read")
+        histogram = registry.histogram("ssd.queue.depth")
+        per_thread, threads = 5000, 8
+
+        def work():
+            for _ in range(per_thread):
+                counter.inc()
+                histogram.observe(1.0)
+
+        workers = [threading.Thread(target=work) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert counter.value == per_thread * threads
+        assert histogram.count == per_thread * threads
+
+    def test_spans_from_other_threads_do_not_corrupt_nesting(self):
+        tracker = SpanTracker()
+        done = threading.Event()
+
+        def other():
+            with tracker.span("other-thread"):
+                pass
+            done.set()
+
+        with tracker.span("main"):
+            thread = threading.Thread(target=other)
+            thread.start()
+            done.wait(5)
+            thread.join()
+            with tracker.span("child"):
+                pass
+        main = tracker.find("main")
+        assert main.child("child") is not None
+        assert main.child("other-thread") is None  # attached as its own root
+        assert tracker.find("other-thread") is not None
+
+
+class TestSpans:
+    def test_nested_wall_timing(self):
+        tracker = SpanTracker()
+        with tracker.span("outer"):
+            with tracker.span("inner"):
+                time.sleep(0.01)
+        outer = tracker.find("outer")
+        inner = outer.child("inner")
+        assert inner is not None
+        assert inner.wall_elapsed >= 0.01
+        assert outer.wall_elapsed >= inner.wall_elapsed
+
+    def test_simulated_spans_and_total(self):
+        tracker = SpanTracker()
+        parent = tracker.add("simulate")
+        tracker.add("fill", parent=parent, sim_elapsed=1.0)
+        tracker.add("external", parent=parent, sim_elapsed=2.5)
+        assert parent.total_sim() == 3.5
+
+    def test_attrs_round_trip(self):
+        tracker = SpanTracker()
+        with tracker.span("phase", index=3, plugin="edge-iterator"):
+            pass
+        restored = SpanTracker.from_list(tracker.to_list())
+        span = restored.find("phase")
+        assert span.attrs == {"index": 3, "plugin": "edge-iterator"}
+
+
+class TestRunReport:
+    def make_report(self) -> RunReport:
+        report = RunReport("unit", meta={"dataset": "LJ"})
+        report.counter("ssd.pages_read").inc(7)
+        report.counter("triangles", phase="internal").inc(3)
+        report.gauge("run.elapsed_simulated").set(0.5)
+        report.histogram("ssd.queue.depth").observe(2)
+        with report.span("run-opt"):
+            report.spans.add("simulate", sim_elapsed=0.5)
+        report.derive("overhead_vs_ideal", 1.04)
+        return report
+
+    def test_json_round_trip(self):
+        report = self.make_report()
+        text = report.to_json()
+        restored = RunReport.from_json(text)
+        assert restored.label == "unit"
+        assert restored.meta == {"dataset": "LJ"}
+        assert restored.derived["overhead_vs_ideal"] == 1.04
+        assert restored.counter_value("ssd.pages_read") == 7
+        assert restored.counter_value("triangles{phase=internal}") == 3
+        assert restored.spans.find("simulate").sim_elapsed == 0.5
+        # Serializing the deserialized report is the identity.
+        assert restored.to_json() == text
+
+    def test_jsonl_append(self, tmp_path):
+        path = tmp_path / "trajectory.jsonl"
+        self.make_report().append_jsonl(path)
+        self.make_report().append_jsonl(path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            validate_report_dict(json.loads(line))
+
+    def test_summary_renders(self):
+        text = self.make_report().summary()
+        assert "RunReport: unit" in text
+        assert "ssd.pages_read" in text
+        assert "overhead_vs_ideal" in text
+        assert "run-opt" in text
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_report_dict({"schema": "wrong"})
+        payload = json.loads(self.make_report().to_json())
+        payload["metrics"]["counters"]["bad"] = -1
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_report_dict(payload)
+        payload = json.loads(self.make_report().to_json())
+        payload["spans"][0]["name"] = ""
+        with pytest.raises(ValueError, match="name"):
+            validate_report_dict(payload)
+
+
+class TestLogging:
+    def test_get_logger_namespaces(self):
+        assert get_logger("repro.core.engine").name == "repro.core.engine"
+        assert get_logger("obs").name == "repro.obs"
+
+    def test_configure_is_idempotent(self):
+        root = configure_logging(1)
+        handlers = list(root.handlers)
+        root = configure_logging(2)
+        assert root.handlers == handlers
+        import logging
+
+        assert root.level == logging.DEBUG
+        configure_logging(0)

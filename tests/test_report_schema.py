@@ -1,0 +1,63 @@
+"""Tier-1 guard against RunReport schema drift.
+
+Wires ``benchmarks/check_report_schema.py`` into the main test run: every
+committed ``BENCH_*.json`` trajectory artifact must validate against the
+current schema, and a freshly produced report must too (so drift is
+caught even before any trajectory file exists).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import RunReport, validate_report_dict
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_report_schema", BENCHMARKS_DIR / "check_report_schema.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_committed_bench_reports_are_valid(checker):
+    failures = {
+        name: errors
+        for name, errors in checker.validate_results_dir().items()
+        if errors
+    }
+    assert not failures, f"BENCH_*.json schema drift: {failures}"
+
+
+def test_fresh_report_passes_the_checker(checker, tmp_path):
+    report = RunReport("fresh")
+    report.counter("ssd.pages_read").inc(3)
+    with report.span("phase"):
+        pass
+    report.derive("overhead_vs_ideal", 1.0)
+    path = tmp_path / "BENCH_fresh.json"
+    report.write_json(path)
+    assert checker.validate_file(path) == []
+
+
+def test_checker_flags_bad_payload(checker, tmp_path):
+    path = tmp_path / "BENCH_bad.json"
+    path.write_text(json.dumps({"schema": "nope"}), encoding="utf-8")
+    errors = checker.validate_file(path)
+    assert errors and "schema" in errors[0]
+
+
+def test_validate_report_dict_rejects_future_version():
+    payload = json.loads(RunReport("x").to_json())
+    payload["version"] = 999
+    with pytest.raises(ValueError, match="newer"):
+        validate_report_dict(payload)
