@@ -19,6 +19,13 @@ Observability: ``triangulate --report out.json`` captures the run as a
 derived ``overhead_vs_ideal``); ``report --run out.json`` pretty-prints
 one.  The global ``--verbose`` / ``--quiet`` flags configure the
 ``repro.*`` logger hierarchy.
+
+Robustness: ``triangulate --fault-kind transient --fault-rate 0.2``
+injects a seeded :class:`~repro.storage.faults.FaultPlan` into the
+disk-based methods (recovery per ``--max-retries``), and
+``--checkpoint ckpt.json`` commits each completed iteration so an
+interrupted run resumes without re-listing triangles — see
+``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -80,9 +87,24 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _build_fault_plan(args):
+    """A (plan, policy) pair from the triangulate fault flags, or Nones."""
+    from repro.storage.faults import FaultPlan, FaultSpec, RetryPolicy
+
+    if not args.fault_kind:
+        return None, None
+    specs = [
+        FaultSpec(kind, rate=args.fault_rate, delay=args.fault_delay)
+        for kind in args.fault_kind
+    ]
+    plan = FaultPlan(specs, seed=args.fault_seed)
+    policy = RetryPolicy(max_retries=args.max_retries)
+    return plan, policy
+
+
 def _cmd_triangulate(args) -> int:
     from repro.baselines import cc_ds, cc_seq, graphchi_tri, mgt
-    from repro.core import make_store, triangulate_disk
+    from repro.core import RunCheckpoint, make_store, triangulate_disk
     from repro.memory import edge_iterator, forward, matrix_count, vertex_iterator
     from repro.obs import RunReport
     from repro.sim import CostModel
@@ -97,6 +119,20 @@ def _cmd_triangulate(args) -> int:
             "method": method,
             "ordering": getattr(args, "ordering", "degree"),
         })
+    fault_plan, retry_policy = _build_fault_plan(args)
+    if (fault_plan or args.checkpoint) and method not in ("opt", "opt-vi", "mgt"):
+        print("error: --fault-kind / --checkpoint apply to the disk-based "
+              "methods (opt, opt-vi, mgt) only", file=sys.stderr)
+        return 1
+    checkpoint = None
+    if args.checkpoint:
+        ckpt_path = Path(args.checkpoint)
+        if ckpt_path.exists():
+            checkpoint = RunCheckpoint.load(ckpt_path)
+            print(f"resuming from checkpoint {ckpt_path} "
+                  f"({len(checkpoint.committed())} committed iterations)")
+        else:
+            checkpoint = RunCheckpoint()
     if method in ("opt", "opt-vi", "mgt"):
         plugin = {"opt": "edge-iterator", "opt-vi": "vertex-iterator",
                   "mgt": "mgt"}[method]
@@ -110,7 +146,13 @@ def _cmd_triangulate(args) -> int:
         result = triangulate_disk(store, plugin=plugin,
                                   buffer_ratio=args.buffer_ratio,
                                   cost=cost, cores=args.cores,
-                                  report=report, ideal_cpu_ops=ideal_cpu_ops)
+                                  report=report, ideal_cpu_ops=ideal_cpu_ops,
+                                  fault_plan=fault_plan,
+                                  retry_policy=retry_policy,
+                                  checkpoint=checkpoint)
+        if checkpoint is not None:
+            path = checkpoint.save(args.checkpoint)
+            print(f"wrote checkpoint to {path}")
     elif method in ("cc-seq", "cc-ds", "graphchi"):
         from repro.core import buffer_pages_for_ratio, make_store as _ms
 
@@ -143,6 +185,11 @@ def _cmd_triangulate(args) -> int:
     ]
     print(format_table(["measure", "value"], rows,
                        title=f"{method} on {args.dataset or args.input}"))
+    if fault_plan is not None:
+        counts = fault_plan.log.counts()
+        fault_rows = sorted(counts.items()) or [("(no faults fired)", 0)]
+        print(format_table(["event", "count"], fault_rows,
+                           title="Fault injection summary"))
     if report is not None:
         if "report" not in result.extra:
             # Baselines and in-memory methods don't record internally yet;
@@ -363,6 +410,21 @@ def build_parser() -> argparse.ArgumentParser:
     tri.add_argument("--report", default=None, metavar="OUT.json",
                      help="write the run's observability report (RunReport "
                           "JSON: phase spans, counters, overhead_vs_ideal)")
+    tri.add_argument("--fault-kind", action="append", default=[],
+                     choices=["latency", "transient", "torn"],
+                     help="inject seeded storage faults of this kind into the "
+                          "disk-based methods (repeatable)")
+    tri.add_argument("--fault-rate", type=float, default=0.1,
+                     help="per-page probability of each injected fault kind")
+    tri.add_argument("--fault-seed", type=int, default=0,
+                     help="seed of the fault plan (same seed, same faults)")
+    tri.add_argument("--fault-delay", type=float, default=0.002,
+                     help="injected latency in seconds (latency faults)")
+    tri.add_argument("--max-retries", type=int, default=3,
+                     help="retry budget before a fault becomes terminal")
+    tri.add_argument("--checkpoint", default=None, metavar="CKPT.json",
+                     help="commit each completed iteration here; an existing "
+                          "file resumes the run (replaying committed output)")
     tri.set_defaults(func=_cmd_triangulate)
 
     lay = sub.add_parser("layout",

@@ -12,7 +12,12 @@ from repro.core.engine import (
 )
 from repro.core.framework import OPTConfig, run_opt
 from repro.core.output import NestedOutputWriter
-from repro.core.result_store import TriangleStore, read_nested_groups
+from repro.core.result_store import (
+    GroupCaptureSink,
+    RunCheckpoint,
+    TriangleStore,
+    read_nested_groups,
+)
 from repro.core.plugins import (
     EdgeIteratorPlugin,
     IteratorPlugin,
@@ -25,13 +30,16 @@ __all__ = [
     "PLUGINS",
     "ChunkContext",
     "EdgeIteratorPlugin",
+    "GroupCaptureSink",
     "IteratorPlugin",
     "MGTPlugin",
     "NestedOutputWriter",
     "OPTConfig",
+    "RunCheckpoint",
     "TriangleStore",
     "read_nested_groups",
     "VertexIteratorPlugin",
+    "triangulate_threaded",
     "buffer_pages_for_ratio",
     "ideal_elapsed",
     "make_store",

@@ -14,6 +14,7 @@ relative overhead is measured.
 from __future__ import annotations
 
 from repro.core.framework import OPTConfig, run_opt
+from repro.core.result_store import RunCheckpoint
 from repro.core.plugins import (
     EdgeIteratorPlugin,
     IteratorPlugin,
@@ -27,6 +28,7 @@ from repro.obs import RunReport
 from repro.sim.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.sim.schedule import simulate
 from repro.sim.trace import RunTrace
+from repro.storage.faults import FaultPlan, RetryPolicy
 from repro.storage.layout import GraphStore
 from repro.storage.page import DEFAULT_PAGE_SIZE
 
@@ -87,6 +89,9 @@ def triangulate_disk(
     sink: TriangleSink | None = None,
     report: RunReport | None = None,
     ideal_cpu_ops: int | None = None,
+    fault_plan: FaultPlan | None = None,
+    retry_policy: RetryPolicy | None = None,
+    checkpoint: RunCheckpoint | None = None,
 ) -> TriangulationResult:
     """Run disk-based OPT triangulation end to end.
 
@@ -112,6 +117,13 @@ def triangulate_disk(
         *ideal_cpu_ops* — the in-memory EdgeIterator≻ op count of the
         same graph — when given, else the trace's own intersection ops
         (identical for the edge-iterator plugin).
+    fault_plan / retry_policy / checkpoint:
+        Fault-injection and recovery knobs, forwarded to
+        :func:`~repro.core.framework.run_opt`: page loads go through a
+        :class:`~repro.storage.faults.RecoveringLoader` driven by the
+        plan (injected latency lands in the simulated timeline), and a
+        :class:`~repro.core.result_store.RunCheckpoint` commits each
+        completed iteration so a failed run can be resumed.
 
     Returns a :class:`TriangulationResult` whose ``elapsed`` is the
     simulated wall time and whose ``extra`` carries the trace and the
@@ -143,7 +155,9 @@ def triangulate_disk(
             m_in=config.m_in, m_ex=config.m_ex, page_size=store.page_size,
             cores=cores, morphing=morphing, serial=serial,
         )
-    trace = run_opt(store, config, sink=sink, report=report)
+    trace = run_opt(store, config, sink=sink, report=report,
+                    fault_plan=fault_plan, retry_policy=retry_policy,
+                    checkpoint=checkpoint)
     if report is not None:
         with report.span("replay", cores=cores):
             sim = simulate(trace, cost, cores=cores, morphing=morphing,

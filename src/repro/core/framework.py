@@ -22,11 +22,13 @@ from typing import Sequence
 
 from repro.core.context import ChunkContext
 from repro.core.plugins import EdgeIteratorPlugin, IteratorPlugin
+from repro.core.result_store import GroupCaptureSink, RunCheckpoint
 from repro.errors import ConfigurationError
 from repro.memory.base import CountSink, TriangleSink
 from repro.obs import RunReport, get_logger
 from repro.sim.trace import ExternalRead, IterationTrace, RunTrace
 from repro.storage.buffer import BufferManager
+from repro.storage.faults import FaultPlan, RecoveringLoader, RetryPolicy
 from repro.storage.layout import GraphStore
 
 __all__ = ["OPTConfig", "run_opt"]
@@ -90,6 +92,10 @@ def run_opt(
     config: OPTConfig,
     sink: TriangleSink | None = None,
     report: RunReport | None = None,
+    *,
+    fault_plan: FaultPlan | None = None,
+    retry_policy: RetryPolicy | None = None,
+    checkpoint: RunCheckpoint | None = None,
 ) -> RunTrace:
     """Run OPT over *store* and return the trace (with real triangles).
 
@@ -104,12 +110,40 @@ def run_opt(
     iteration), the buffer manager counts hits/misses/evictions into the
     report's registry, and triangles are attributed to the phase that
     found them (``triangles{phase=internal}`` / ``{phase=external}``).
+
+    With a :class:`~repro.storage.faults.FaultPlan`, every page load goes
+    through a :class:`~repro.storage.faults.RecoveringLoader`: the plan's
+    seeded faults fire in *virtual* time, recoverable ones are retried
+    per *retry_policy* (``recovery.retries``), and the injected latency
+    plus backoff is charged to the trace (``fill_delay`` /
+    ``ExternalRead.delay``) so the discrete-event replay shows the same
+    dual-timeline report a clean run would — just slower.  A fault that
+    outlasts the retry budget raises the typed
+    :class:`~repro.errors.FaultExhaustedError`.
+
+    With a :class:`~repro.core.result_store.RunCheckpoint`, each
+    completed iteration commits its emitted groups and measured trace;
+    on resume, committed iterations are *replayed* from the checkpoint
+    (``recovery.checkpoint.replayed``) and execution restarts at the
+    first uncommitted chunk — no already-emitted triangle is listed
+    twice.
     """
     if sink is None:
         sink = CountSink()
     if report is not None:
         sink = _PhaseSink(sink, report)
     plugin = config.plugin
+    reader: RecoveringLoader | None = None
+    loader = store.decode_page
+    if fault_plan is not None:
+        reader = RecoveringLoader(
+            store.decode_page, fault_plan, retry_policy,
+            registry=report.registry if report is not None else None,
+        )
+        loader = reader
+    if checkpoint is not None:
+        checkpoint.bind(num_pages=store.num_pages, plugin=plugin.name,
+                        m_in=config.m_in)
     trace = RunTrace(num_pages=store.num_pages, m_in=config.m_in,
                      m_ex=1 if plugin.sync_external else config.m_ex,
                      sync_external=plugin.sync_external)
@@ -128,14 +162,31 @@ def run_opt(
         pid = end + 1
     max_chunk = max(end - start + 1 for start, end in chunks)
     capacity = max(config.m_in, max_chunk) + config.m_ex
-    buffer = BufferManager(capacity, loader=store.decode_page,
+    buffer = BufferManager(capacity, loader=loader,
                            registry=report.registry if report else None)
 
     output_pages_before = getattr(sink, "pages_written", 0)
     with _span(report, "run-opt", plugin=plugin.name, m_in=config.m_in,
                m_ex=config.m_ex):
         for index, (pid, end) in enumerate(chunks):
+            if checkpoint is not None and checkpoint.has(index):
+                # Committed by an earlier (failed) run: replay the stored
+                # output instead of re-listing the chunk's triangles.
+                replayed = checkpoint.replay_into(index, sink)
+                stored = checkpoint.trace_of(index)
+                trace.iterations.append(
+                    IterationTrace.from_dict(stored) if stored
+                    else IterationTrace()
+                )
+                logger.debug("iteration %d: replayed %d triangles from "
+                             "checkpoint", index, replayed)
+                if report is not None:
+                    report.counter("recovery.checkpoint.replayed").inc()
+                    report.counter("opt.iterations").inc()
+                continue
             iteration = IterationTrace()
+            iteration_sink = (GroupCaptureSink(sink) if checkpoint is not None
+                              else sink)
             logger.debug("iteration %d: internal pages %d..%d", index, pid, end)
 
             with _span(report, "iteration", index=index):
@@ -150,11 +201,13 @@ def run_opt(
                             iteration.fill_buffered += 1
                         else:
                             iteration.fill_reads += 1
+                        if reader is not None:
+                            iteration.fill_delay += reader.take_delay()
                         chunk_records.append(frame.records)
 
                 v_lo, v_hi = store.chunk_vertex_range(pid, end)
                 adjacency = _assemble_adjacency(chunk_records)
-                ctx = ChunkContext(v_lo, v_hi, adjacency, sink)
+                ctx = ChunkContext(v_lo, v_hi, adjacency, iteration_sink)
 
                 # -- candidate identification (Algorithm 7 per record) -------
                 with _span(report, "identify-candidates"):
@@ -190,6 +243,7 @@ def run_opt(
                     for page_id in ordered:
                         hit = page_id in buffer
                         frame = buffer.get(page_id, pin=True)
+                        delay = reader.take_delay() if reader is not None else 0.0
                         ops = 0
                         for record in frame.records:
                             if record.vertex in ctx.requesters:
@@ -199,7 +253,7 @@ def run_opt(
                         buffered = hit and not plugin.rescan_all
                         iteration.external_reads.append(
                             ExternalRead(pid=page_id, cpu_ops=ops,
-                                         buffered=buffered)
+                                         buffered=buffered, delay=delay)
                         )
 
                 # -- internal triangulation (Algorithm 5, per page) ----------
@@ -233,10 +287,35 @@ def run_opt(
 
             trace.iterations.append(iteration)
 
+            if checkpoint is not None:
+                checkpoint.record(index, pid, end, iteration_sink.groups,
+                                  trace=iteration.to_dict())
+                if report is not None:
+                    report.counter("recovery.checkpoint.saved").inc()
+
     trace.triangles = getattr(sink, "count", 0)
     if report is not None:
         report.counter("opt.pages_read").inc(trace.total_device_reads)
+        if fault_plan is not None:
+            _fold_fault_log(fault_plan, report)
     return trace
+
+
+def _fold_fault_log(fault_plan: FaultPlan, report: RunReport) -> None:
+    """Mirror the plan's injection log into the report's registry.
+
+    Each ``inject:<kind>`` tally from the event log becomes the
+    ``faults.injected{kind=...}`` counter, so the RunReport alone tells
+    what the plan actually did.  FaultPlans are single-run objects: reuse
+    one across runs and these counts would double.
+    """
+    for key, value in fault_plan.log.counts().items():
+        if key.startswith("inject:"):
+            kind = key.split(":", 1)[1]
+            counter = report.counter("faults.injected", kind=kind)
+            delta = value - counter.value
+            if delta > 0:
+                counter.inc(delta)
 
 
 def _assemble_adjacency(chunk_records) -> dict:

@@ -10,14 +10,16 @@ coefficients, spam signals) and per edge (trigonal connectivity).
 
 from __future__ import annotations
 
+import json
 import struct
 from collections import defaultdict
 from pathlib import Path
-from typing import IO, Iterator
+from typing import IO, Iterator, Sequence
 
-from repro.errors import GraphFormatError
+from repro.errors import CheckpointError, GraphFormatError
 
-__all__ = ["TriangleStore", "read_nested_groups"]
+__all__ = ["GroupCaptureSink", "RunCheckpoint", "TriangleStore",
+           "read_nested_groups"]
 
 _GROUP_HEADER = struct.Struct("<IIH")
 _VERTEX = struct.Struct("<I")
@@ -52,6 +54,164 @@ def read_nested_groups(
     finally:
         if own:
             handle.close()
+
+
+class GroupCaptureSink:
+    """A sink wrapper that records every nested group it forwards.
+
+    The checkpointing engines wrap the run's sink with one of these per
+    *uncommitted* iteration, so a committed iteration's exact output can
+    later be replayed from the checkpoint without re-triangulating.
+    """
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.groups: list[tuple[int, int, list[int]]] = []
+
+    def emit(self, u: int, v: int, ws: Sequence[int]) -> None:
+        self.groups.append((int(u), int(v), [int(w) for w in ws]))
+        self._inner.emit(u, v, ws)
+
+    def __getattr__(self, name):  # count, pages_written, ...
+        return getattr(self._inner, name)
+
+
+class RunCheckpoint:
+    """Iteration-level checkpoint of a disk-based triangulation run.
+
+    OPT's iteration barrier (Algorithm 3 line 11) is a natural commit
+    point: when iteration *i* completes, every triangle whose smallest
+    vertex lives in chunk *i* has been emitted and will never be touched
+    again.  The checkpoint records, per committed iteration, the chunk's
+    page bounds, the emitted nested groups, and (for the simulated
+    engine) the measured :class:`~repro.sim.trace.IterationTrace` — so a
+    run that dies mid-iteration can be *resumed*: committed iterations
+    replay their stored groups into the sink (``recovery.checkpoint.replayed``)
+    and execution restarts at the first uncommitted chunk, without
+    re-listing a single already-emitted triangle.
+
+    The JSON ``save`` / ``load`` round-trip makes the checkpoint a
+    durable artifact; ``meta`` pins the store geometry and plugin so a
+    checkpoint can never silently replay into a different run shape.
+    """
+
+    VERSION = 1
+
+    def __init__(self, meta: dict | None = None):
+        self.meta: dict = dict(meta or {})
+        self._iterations: dict[int, dict] = {}
+
+    # -- binding -------------------------------------------------------------
+
+    def bind(self, **meta) -> None:
+        """Pin run geometry (``num_pages=...``, ``plugin=...``).
+
+        The first run fills the fields in; a resume validates them and
+        raises :class:`CheckpointError` on any mismatch.
+        """
+        for key, value in meta.items():
+            existing = self.meta.get(key)
+            if existing is None:
+                self.meta[key] = value
+            elif existing != value:
+                raise CheckpointError(
+                    f"checkpoint was recorded with {key}={existing!r}; "
+                    f"this run has {key}={value!r}"
+                )
+
+    # -- recording -----------------------------------------------------------
+
+    def has(self, index: int) -> bool:
+        return index in self._iterations
+
+    def committed(self) -> list[int]:
+        return sorted(self._iterations)
+
+    def record(
+        self,
+        index: int,
+        start_pid: int,
+        end_pid: int,
+        groups: Sequence[tuple[int, int, list[int]]],
+        trace: dict | None = None,
+    ) -> None:
+        """Commit iteration *index* (bounds, emitted groups, trace)."""
+        if index in self._iterations:
+            raise CheckpointError(f"iteration {index} is already committed")
+        self._iterations[index] = {
+            "start": int(start_pid),
+            "end": int(end_pid),
+            "groups": [(int(u), int(v), [int(w) for w in ws])
+                       for u, v, ws in groups],
+            "trace": trace,
+        }
+
+    # -- replay ---------------------------------------------------------------
+
+    def bounds(self, index: int) -> tuple[int, int]:
+        entry = self._iterations[index]
+        return entry["start"], entry["end"]
+
+    def trace_of(self, index: int) -> dict | None:
+        return self._iterations[index].get("trace")
+
+    def replay_into(self, index: int, sink) -> int:
+        """Emit iteration *index*'s stored groups into *sink*.
+
+        Returns the number of triangles replayed.
+        """
+        if index not in self._iterations:
+            raise CheckpointError(f"iteration {index} is not committed")
+        triangles = 0
+        for u, v, ws in self._iterations[index]["groups"]:
+            sink.emit(u, v, ws)
+            triangles += len(ws)
+        return triangles
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.core/run-checkpoint",
+            "version": self.VERSION,
+            "meta": self.meta,
+            "iterations": {
+                str(index): entry
+                for index, entry in sorted(self._iterations.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunCheckpoint":
+        if data.get("schema") != "repro.core/run-checkpoint":
+            raise CheckpointError(
+                f"not a checkpoint payload (schema {data.get('schema')!r})"
+            )
+        if int(data.get("version", 0)) > cls.VERSION:
+            raise CheckpointError(
+                f"checkpoint version {data.get('version')} is newer than "
+                f"supported {cls.VERSION}"
+            )
+        checkpoint = cls(meta=data.get("meta", {}))
+        for key, entry in data.get("iterations", {}).items():
+            checkpoint._iterations[int(key)] = {
+                "start": int(entry["start"]),
+                "end": int(entry["end"]),
+                "groups": [(int(u), int(v), [int(w) for w in ws])
+                           for u, v, ws in entry["groups"]],
+                "trace": entry.get("trace"),
+            }
+        return checkpoint
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict()) + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunCheckpoint":
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
 
 
 class TriangleStore:

@@ -26,11 +26,14 @@ import numpy as np
 
 from repro.core.context import ChunkContext
 from repro.core.engine import resolve_plugin
+from repro.core.framework import _fold_fault_log
 from repro.core.plugins import IteratorPlugin
+from repro.core.result_store import GroupCaptureSink, RunCheckpoint
 from repro.errors import ConfigurationError
 from repro.graph.graph import Graph
 from repro.memory.base import CountSink, TriangleSink, TriangulationResult
 from repro.obs import RunReport, get_logger
+from repro.storage.faults import FaultPlan, FaultyPageFile, RetryPolicy
 from repro.storage.layout import GraphStore
 from repro.storage.page import DEFAULT_PAGE_SIZE, PageRecord
 from repro.storage.ssd import ThreadedSSD
@@ -65,6 +68,9 @@ def triangulate_threaded(
     window: int = 4,
     sink: TriangleSink | None = None,
     report: RunReport | None = None,
+    fault_plan: FaultPlan | None = None,
+    retry_policy: RetryPolicy | None = None,
+    checkpoint: RunCheckpoint | None = None,
 ) -> TriangulationResult:
     """Run OPT with real threads and real file I/O.
 
@@ -76,6 +82,21 @@ def triangulate_threaded(
     With a :class:`~repro.obs.RunReport` *report*, the SSD counts device
     reads, async-read queue depth, and callback latency into the report's
     registry, and each iteration emits a wall-clock span.
+
+    With a :class:`~repro.storage.faults.FaultPlan`, the page file is
+    wrapped in a :class:`~repro.storage.faults.FaultyPageFile` that
+    injects the plan's faults *for real* (sleeps, raised errors,
+    corrupted bytes), and the SSD recovers per *retry_policy*: failing
+    reads retry with backoff, and reads whose completion is lost
+    (``dropped_callback`` / ``stall`` faults, which *require* a
+    ``retry_policy.timeout``) are reclaimed at the iteration barrier and
+    degraded to a synchronous re-read.  A fault that outlasts the policy
+    surfaces as :class:`~repro.errors.FaultExhaustedError` from
+    ``wait_idle`` — never a silently wrong triangle listing.
+
+    With a :class:`~repro.core.result_store.RunCheckpoint`, each
+    completed iteration commits its emitted groups; committed iterations
+    are replayed on resume instead of being re-triangulated.
     """
     if buffer_pages < 2:
         raise ConfigurationError("buffer must hold at least two pages")
@@ -96,6 +117,9 @@ def triangulate_threaded(
     m_in = buffer_pages // 2
     base_sink = sink if sink is not None else CountSink()
     locked_sink = _LockedSink(base_sink)
+    if checkpoint is not None:
+        checkpoint.bind(num_pages=store.num_pages, plugin=plugin.name,
+                        m_in=m_in)
     if report is not None:
         report.meta.update(
             engine="triangulate_threaded", plugin=plugin.name,
@@ -107,21 +131,40 @@ def triangulate_threaded(
     iterations = 0
     page_file = store.open_page_file(directory)
     try:
+        device = (FaultyPageFile(page_file, fault_plan)
+                  if fault_plan is not None else page_file)
         registry = report.registry if report is not None else None
-        with ThreadedSSD(page_file, io_workers=io_workers,
-                         registry=registry) as ssd:
+        with ThreadedSSD(device, io_workers=io_workers,
+                         registry=registry, retry_policy=retry_policy) as ssd:
             pid = 0
             while pid < store.num_pages:
                 end = store.align_chunk_end(pid, m_in)
+                if checkpoint is not None and checkpoint.has(iterations):
+                    replayed = checkpoint.replay_into(iterations, locked_sink)
+                    logger.debug("threaded iteration %d: replayed %d "
+                                 "triangles from checkpoint",
+                                 iterations, replayed)
+                    if report is not None:
+                        report.counter("recovery.checkpoint.replayed").inc()
+                    iterations += 1
+                    pid = end + 1
+                    continue
+                iteration_sink = (GroupCaptureSink(locked_sink)
+                                  if checkpoint is not None else locked_sink)
                 logger.debug("threaded iteration %d: pages %d..%d",
                              iterations, pid, end)
                 if report is not None:
                     with report.span("iteration", index=iterations):
-                        _run_iteration(store, ssd, plugin, locked_sink,
+                        _run_iteration(store, ssd, plugin, iteration_sink,
                                        pid, end, window)
                 else:
-                    _run_iteration(store, ssd, plugin, locked_sink,
+                    _run_iteration(store, ssd, plugin, iteration_sink,
                                    pid, end, window)
+                if checkpoint is not None:
+                    checkpoint.record(iterations, pid, end,
+                                      iteration_sink.groups)
+                    if report is not None:
+                        report.counter("recovery.checkpoint.saved").inc()
                 iterations += 1
                 pid = end + 1
             pages_read = ssd.pages_read
@@ -132,6 +175,8 @@ def triangulate_threaded(
         report.gauge("run.elapsed_wall").set(elapsed)
         report.counter("triangles", phase="total").inc(locked_sink.count)
         report.counter("opt.iterations").inc(iterations)
+        if fault_plan is not None:
+            _fold_fault_log(fault_plan, report)
     extra = {"engine": "threaded", "store": store}
     if report is not None:
         extra["report"] = report

@@ -44,6 +44,27 @@ class DeviceError(StorageError):
     """Raised when an I/O device (real or simulated) fails a request."""
 
 
+class FaultExhaustedError(DeviceError):
+    """Terminal device failure: a fault plan outlasted the retry policy.
+
+    Raised when a page read keeps failing after every retry (plus the
+    timeout fallback's synchronous re-read, on the async path).  Catching
+    this error means the run *detected* the unrecoverable fault — the
+    alternative, a silently wrong triangle listing, never happens.
+    """
+
+    def __init__(self, message: str, *, pid: int | None = None,
+                 attempts: int = 0):
+        super().__init__(message)
+        self.pid = pid
+        self.attempts = attempts
+
+
+class CheckpointError(ReproError):
+    """Raised on checkpoint misuse (re-recording a committed iteration,
+    loading a checkpoint whose geometry disagrees with the run...)."""
+
+
 class SimulationError(ReproError):
     """Raised when the discrete-event simulation reaches an invalid state."""
 

@@ -34,7 +34,6 @@ def stripe_bounds(graph: Graph, workers: int) -> list[tuple[int, int]]:
     """
     if workers < 1:
         raise ConfigurationError("workers must be >= 1")
-    degrees = graph.degrees()
     # Work proxy: each vertex drives |n_succ| intersections.
     succ_mass = np.array(
         [len(graph.n_succ(u)) for u in range(graph.num_vertices)],

@@ -89,11 +89,15 @@ def _simulate_sync_iteration(
     iteration: IterationTrace, cost: CostModel, cores: int
 ) -> IterationTiming:
     """Synchronous external I/O: streamed reads, then CPU, no overlap."""
-    fill_io = _stream_time(iteration.fill_reads, cost)
+    fill_io = _stream_time(iteration.fill_reads, cost) + iteration.fill_delay
     candidate_cpu = cost.cpu(iteration.candidate_ops) * cost.candidate_op_factor
     t_fill = fill_io + candidate_cpu
     internal_cpu = cost.cpu(iteration.internal_ops)
-    external_io = _stream_time(iteration.external_device_reads, cost)
+    # Injected fault latency (and retry backoff) serializes on the
+    # blocking read path: each affected read simply takes longer.
+    external_io = _stream_time(iteration.external_device_reads, cost) + sum(
+        read.delay for read in iteration.external_reads
+    )
     external_cpu = cost.cpu(iteration.external_ops)
     elapsed = t_fill + internal_cpu + external_io + external_cpu
     return IterationTiming(
@@ -117,7 +121,7 @@ def _simulate_iteration(
     stats: dict | None = None,
 ) -> IterationTiming:
     latency = cost.page_read_time
-    fill_io = iteration.fill_reads * latency / cost.channels
+    fill_io = iteration.fill_reads * latency / cost.channels + iteration.fill_delay
     candidate_cpu = cost.cpu(iteration.candidate_ops) * cost.candidate_op_factor
     t_fill = max(fill_io, candidate_cpu)
 
@@ -142,7 +146,9 @@ def _simulate_iteration(
         else:
             device_reads += 1
             channel = min(range(cost.channels), key=channel_free.__getitem__)
-            done = max(channel_free[channel], now) + latency
+            # read.delay extends the service time: injected fault latency
+            # and retry backoff occupy the channel like a slow read would.
+            done = max(channel_free[channel], now) + latency + read.delay
             channel_free[channel] = done
             heapq.heappush(heap, (done, seq, _ARRIVE, read))
         seq += 1
@@ -299,6 +305,7 @@ def simulate(
     )
     if report is not None:
         _record(result, timings, stats, report)
+        report.gauge("sim.fault_delay").set(trace.total_fault_delay)
     return result
 
 

@@ -27,6 +27,20 @@ class ExternalRead:
     pid: int
     cpu_ops: int
     buffered: bool = False  # satisfied from the buffer pool, no device read
+    #: Extra device seconds this read suffered beyond the nominal page
+    #: latency: injected fault latency plus retry backoff (zero on clean
+    #: runs).  The scheduler extends the read's service time by this.
+    delay: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {"pid": self.pid, "cpu_ops": self.cpu_ops,
+                "buffered": self.buffered, "delay": self.delay}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExternalRead":
+        return cls(pid=int(data["pid"]), cpu_ops=int(data["cpu_ops"]),
+                   buffered=bool(data.get("buffered", False)),
+                   delay=float(data.get("delay", 0.0)))
 
 
 @dataclass
@@ -39,6 +53,9 @@ class IterationTrace:
     internal_page_ops: list[int] = field(default_factory=list)
     external_reads: list[ExternalRead] = field(default_factory=list)
     output_pages: int = 0
+    #: Extra device seconds charged to the internal fill by injected
+    #: faults (latency spikes + retry backoff on fill reads).
+    fill_delay: float = 0.0
 
     @property
     def internal_ops(self) -> int:
@@ -55,6 +72,36 @@ class IterationTrace:
     @property
     def external_buffered(self) -> int:
         return sum(1 for read in self.external_reads if read.buffered)
+
+    @property
+    def fault_delay(self) -> float:
+        """Total injected device seconds across fill and external reads."""
+        return self.fill_delay + sum(read.delay for read in self.external_reads)
+
+    def to_dict(self) -> dict:
+        """Checkpoint-serializable form (see :mod:`repro.core.result_store`)."""
+        return {
+            "fill_reads": self.fill_reads,
+            "fill_buffered": self.fill_buffered,
+            "candidate_ops": self.candidate_ops,
+            "internal_page_ops": list(self.internal_page_ops),
+            "external_reads": [read.to_dict() for read in self.external_reads],
+            "output_pages": self.output_pages,
+            "fill_delay": self.fill_delay,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IterationTrace":
+        return cls(
+            fill_reads=int(data.get("fill_reads", 0)),
+            fill_buffered=int(data.get("fill_buffered", 0)),
+            candidate_ops=int(data.get("candidate_ops", 0)),
+            internal_page_ops=[int(v) for v in data.get("internal_page_ops", [])],
+            external_reads=[ExternalRead.from_dict(r)
+                            for r in data.get("external_reads", [])],
+            output_pages=int(data.get("output_pages", 0)),
+            fill_delay=float(data.get("fill_delay", 0.0)),
+        )
 
 
 @dataclass
@@ -95,3 +142,8 @@ class RunTrace:
     @property
     def total_device_reads(self) -> int:
         return self.total_fill_reads + self.total_external_reads
+
+    @property
+    def total_fault_delay(self) -> float:
+        """Injected device seconds over the whole run (zero when clean)."""
+        return sum(it.fault_delay for it in self.iterations)

@@ -1,7 +1,19 @@
 """Storage substrate: slotted pages, page files, buffer manager, devices."""
 
 from repro.storage.buffer import BufferManager, Frame
-from repro.storage.faults import CorruptingPageFile, FlakyPageFile, corrupt_page_bytes
+from repro.storage.faults import (
+    FAULT_KINDS,
+    CorruptingPageFile,
+    FaultAction,
+    FaultEventLog,
+    FaultPlan,
+    FaultSpec,
+    FaultyPageFile,
+    FlakyPageFile,
+    RecoveringLoader,
+    RetryPolicy,
+    corrupt_page_bytes,
+)
 from repro.storage.layout import GraphStore
 from repro.storage.page import DEFAULT_PAGE_SIZE, PageRecord, SlottedPage, record_capacity
 from repro.storage.pagefile import PageFile
@@ -11,13 +23,21 @@ from repro.storage.writer import AsyncFile
 __all__ = [
     "AsyncFile",
     "DEFAULT_PAGE_SIZE",
+    "FAULT_KINDS",
     "BufferManager",
     "CorruptingPageFile",
+    "FaultAction",
+    "FaultEventLog",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyPageFile",
     "FlakyPageFile",
     "Frame",
     "GraphStore",
     "PageFile",
     "PageRecord",
+    "RecoveringLoader",
+    "RetryPolicy",
     "SlottedPage",
     "SyncDevice",
     "ThreadedSSD",

@@ -13,6 +13,21 @@ primitive:
   for MGT-style methods that use blocking I/O, and the loader behind the
   buffer manager.
 
+Both devices host the *recovery* half of the fault subsystem
+(:mod:`repro.storage.faults`): given a :class:`~repro.storage.faults.RetryPolicy`
+they retry failed or torn reads with exponential backoff, and the
+threaded device additionally arms a **per-read deadline** — a request
+whose completion never arrives (dropped callback, device stall) is
+reclaimed at the next ``wait_idle`` barrier and degraded to a
+*synchronous re-read* on the waiting thread, with the callback still
+executed on the serialized callback thread.  When a fault outlasts the
+retry budget the typed terminal
+:class:`~repro.errors.FaultExhaustedError` surfaces — never a silently
+wrong result.  Retries, timeouts, and fallbacks count into the metrics
+registry (``recovery.*``), so an instrumented run's
+:class:`~repro.obs.RunReport` shows exactly what the storage layer
+survived.
+
 The *timing* model of the Flash device (latency, channel parallelism) is
 independent of these classes and lives in :mod:`repro.sim.device`.
 """
@@ -24,8 +39,22 @@ import threading
 import time
 from typing import Callable, Sequence
 
-from repro.errors import DeviceError
+from repro.errors import (
+    ConfigurationError,
+    DeviceError,
+    FaultExhaustedError,
+    PageFormatError,
+)
 from repro.obs import MetricsRegistry, get_logger
+from repro.storage.faults import (
+    FALLBACKS_METRIC,
+    GIVEUPS_METRIC,
+    INJECTED_METRIC,
+    RETRIES_METRIC,
+    TIMEOUTS_METRIC,
+    FaultPlan,
+    RetryPolicy,
+)
 from repro.storage.page import PageRecord, SlottedPage
 from repro.storage.pagefile import PageFile
 
@@ -39,19 +68,68 @@ PAGES_READ_METRIC = "ssd.pages_read"
 logger = get_logger(__name__)
 
 
+def _read_records_with_retry(
+    page_file,
+    pid: int,
+    policy: RetryPolicy | None,
+    plan: FaultPlan | None,
+    retries_counter,
+    giveups_counter,
+    *,
+    sleep: Callable[[float], None] = time.sleep,
+) -> list[PageRecord]:
+    """Read + decode page *pid*, retrying recoverable faults per *policy*.
+
+    Recoverable means :class:`DeviceError` (the device refused the read)
+    or :class:`PageFormatError` (the bytes arrived torn); anything else
+    propagates untouched.  With no policy this is a single attempt — the
+    historical fail-fast behavior.
+    """
+    failures = 0
+    while True:
+        try:
+            raw = page_file.read_page(pid)
+            return SlottedPage.from_bytes(raw).records()
+        except (DeviceError, PageFormatError) as exc:
+            if policy is None:
+                raise
+            if failures >= policy.max_retries:
+                giveups_counter.inc()
+                if plan is not None:
+                    plan.log.record("giveup", "terminal", pid, failures)
+                raise FaultExhaustedError(
+                    f"page {pid} still failing after {policy.max_retries} "
+                    f"retries: {exc}",
+                    pid=pid, attempts=failures + 1,
+                ) from exc
+            retries_counter.inc()
+            if plan is not None:
+                plan.log.record("retry", "retry", pid, failures)
+            sleep(policy.backoff(pid, failures))
+            failures += 1
+
+
 class SyncDevice:
     """Blocking page reader over a page file, with read accounting.
 
     Reads count through the ``ssd.pages_read`` counter of *registry* (a
     private registry when none is given); the historical ``pages_read``
-    attribute remains available as a property.
+    attribute remains available as a property.  With a
+    :class:`~repro.storage.faults.RetryPolicy`, recoverable read faults
+    (device errors, torn pages) are retried with deterministic backoff
+    before the typed terminal error surfaces.
     """
 
     def __init__(self, page_file: PageFile, *,
-                 registry: MetricsRegistry | None = None):
+                 registry: MetricsRegistry | None = None,
+                 retry_policy: RetryPolicy | None = None):
         self._page_file = page_file
         self.registry = registry if registry is not None else MetricsRegistry()
         self._pages_read = self.registry.counter(PAGES_READ_METRIC)
+        self._retry_policy = retry_policy
+        self._plan: FaultPlan | None = getattr(page_file, "plan", None)
+        self._retries = self.registry.counter(RETRIES_METRIC)
+        self._giveups = self.registry.counter(GIVEUPS_METRIC)
 
     @property
     def num_pages(self) -> int:
@@ -62,9 +140,13 @@ class SyncDevice:
         return self._pages_read.value
 
     def read_page(self, pid: int) -> list[PageRecord]:
-        """Read and decode page *pid* synchronously."""
+        """Read and decode page *pid* synchronously (with retries)."""
+        records = _read_records_with_retry(
+            self._page_file, pid, self._retry_policy, self._plan,
+            self._retries, self._giveups,
+        )
         self._pages_read.inc()
-        return SlottedPage.from_bytes(self._page_file.read_page(pid)).records()
+        return records
 
 
 class ThreadedSSD:
@@ -75,12 +157,24 @@ class ThreadedSSD:
     runs on the single callback thread.  ``wait_idle()`` blocks until every
     issued request has been read *and* its callback has returned — the
     "wait until ... executions are finished" barriers of Algorithm 3.
+
+    Recovery: with a :class:`~repro.storage.faults.RetryPolicy`, reader
+    threads retry recoverable faults with backoff, and ``policy.timeout``
+    arms a per-read deadline.  A request that misses its deadline — its
+    callback was dropped, or the device stalled — is reclaimed by the
+    thread blocked in ``wait_idle`` and served by a synchronous re-read
+    there (counted as ``recovery.timeouts`` + ``recovery.fallbacks``);
+    its callback still runs on the callback thread, preserving callback
+    serialization.  Because the engine's internal triangulation happens
+    *before* the barrier, a timed-out external read degrades without
+    ever stalling internal work.
     """
 
     _SHUTDOWN = object()
 
     def __init__(self, page_file: PageFile, *, io_workers: int = 4,
-                 registry: MetricsRegistry | None = None):
+                 registry: MetricsRegistry | None = None,
+                 retry_policy: RetryPolicy | None = None):
         if io_workers < 1:
             raise DeviceError("io_workers must be >= 1")
         self._page_file = page_file
@@ -89,6 +183,21 @@ class ThreadedSSD:
         self._async_reads = self.registry.counter("ssd.async_reads")
         self._queue_depth = self.registry.histogram("ssd.queue.depth")
         self._callback_latency = self.registry.histogram("ssd.callback.latency")
+        self._retry_policy = retry_policy
+        self._plan: FaultPlan | None = getattr(page_file, "plan", None)
+        if (self._plan is not None and self._plan.needs_timeout
+                and (retry_policy is None or retry_policy.timeout is None)):
+            raise ConfigurationError(
+                "the fault plan drops callbacks or stalls the device; "
+                "recovery needs a RetryPolicy with a per-read timeout"
+            )
+        self._retries = self.registry.counter(RETRIES_METRIC)
+        self._timeouts = self.registry.counter(TIMEOUTS_METRIC)
+        self._fallbacks = self.registry.counter(FALLBACKS_METRIC)
+        self._giveups = self.registry.counter(GIVEUPS_METRIC)
+        self._dropped = self.registry.counter(INJECTED_METRIC,
+                                              kind="dropped_callback")
+        self._timeout = retry_policy.timeout if retry_policy else None
         self._read_queue: queue.Queue = queue.Queue()
         self._callback_queue: queue.Queue = queue.Queue()
         self._outstanding = 0
@@ -96,6 +205,12 @@ class ThreadedSSD:
         self._idle = threading.Condition(self._lock)
         self._failure: BaseException | None = None
         self._closed = False
+        self._next_request = 0
+        #: request id -> (pid, callback, args, deadline); tracked only
+        #: when a per-read timeout is armed.
+        self._inflight: dict[int, tuple[int, Callable, tuple, float]] = {}
+        #: completed reads per page, the attempt basis for drop faults.
+        self._completions: dict[int, int] = {}
         self._readers = [
             threading.Thread(target=self._reader_loop, name=f"ssd-reader-{i}",
                              daemon=True)
@@ -132,21 +247,61 @@ class ThreadedSSD:
         """
         if self._closed:
             raise DeviceError("device is closed")
+        args = tuple(args)
         with self._lock:
             self._outstanding += 1
             depth = self._outstanding
+            request = self._next_request
+            self._next_request += 1
+            if self._timeout is not None:
+                self._inflight[request] = (
+                    pid, callback, args, time.monotonic() + self._timeout
+                )
+                # A thread blocked in wait_idle may have found _inflight
+                # empty and gone into an untimed sleep; wake it so it
+                # picks up this request's deadline (callbacks issue new
+                # reads while the barrier is waiting).
+                self._idle.notify_all()
         self._async_reads.inc()
         self._queue_depth.observe(depth)
-        self._read_queue.put((pid, callback, tuple(args)))
+        self._read_queue.put((request, pid, callback, args))
 
     def wait_idle(self) -> None:
-        """Block until all issued reads and their callbacks are finished."""
-        with self._idle:
-            while self._outstanding > 0 and self._failure is None:
-                self._idle.wait()
-            if self._failure is not None:
-                failure, self._failure = self._failure, None
-                raise DeviceError("asynchronous read failed") from failure
+        """Block until all issued reads and their callbacks are finished.
+
+        This barrier doubles as the recovery point: requests whose
+        deadline has passed are reclaimed here and served by synchronous
+        re-reads on the calling thread.
+        """
+        while True:
+            expired: list[tuple[int, Callable, tuple]] = []
+            with self._idle:
+                if self._failure is not None:
+                    failure, self._failure = self._failure, None
+                    if isinstance(failure, DeviceError):
+                        raise failure
+                    raise DeviceError("asynchronous read failed") from failure
+                if self._outstanding <= 0:
+                    return
+                if self._timeout is not None and self._inflight:
+                    now = time.monotonic()
+                    for request, entry in list(self._inflight.items()):
+                        pid, callback, args, deadline = entry
+                        if now >= deadline:
+                            del self._inflight[request]
+                            expired.append((pid, callback, args))
+                    if not expired:
+                        next_deadline = min(
+                            deadline
+                            for _, _, _, deadline in self._inflight.values()
+                        )
+                        self._idle.wait(max(1e-4, next_deadline - now))
+                        continue
+                else:
+                    self._idle.wait()
+                    continue
+            for pid, callback, args in expired:
+                self._recover_timeout(pid, callback, args)
 
     def close(self) -> None:
         """Stop worker threads (idempotent); pending work is drained first."""
@@ -167,6 +322,60 @@ class ThreadedSSD:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- recovery ----------------------------------------------------------
+
+    def _claim(self, request: int) -> bool:
+        """Take ownership of *request*'s completion (False = already taken)."""
+        if self._timeout is None:
+            return True
+        with self._lock:
+            return self._inflight.pop(request, None) is not None
+
+    def _recover_timeout(self, pid: int, callback: Callable, args: tuple) -> None:
+        """Serve a timed-out request with a synchronous re-read.
+
+        Runs on the thread blocked in ``wait_idle`` (the engine's main
+        thread, which by this point has finished its internal
+        triangulation — the morph-aware degradation).  The callback is
+        still posted to the callback thread, keeping callbacks serial.
+        """
+        self._timeouts.inc()
+        attempt = 0
+        if hasattr(self._page_file, "attempts_of"):
+            attempt = self._page_file.attempts_of(pid)
+        if self._plan is not None:
+            self._plan.log.record("timeout", "timeout", pid, attempt)
+        logger.debug("read of page %d timed out; synchronous fallback", pid)
+        try:
+            records = _read_records_with_retry(
+                self._page_file, pid, self._retry_policy, self._plan,
+                self._retries, self._giveups,
+            )
+        except BaseException as exc:
+            self._fail(exc)
+            return
+        self._pages_read.inc()
+        self._fallbacks.inc()
+        if self._plan is not None:
+            self._plan.log.record("fallback", "sync_reread", pid, attempt)
+        self._callback_queue.put((callback, records, args,
+                                  time.perf_counter()))
+
+    def _should_drop(self, pid: int) -> bool:
+        """Consult the fault plan: lose this read's completion?"""
+        if self._plan is None:
+            return False
+        with self._lock:
+            completion = self._completions.get(pid, 0)
+            self._completions[pid] = completion + 1
+        for action in self._plan.actions(pid, completion):
+            if action.kind == "dropped_callback":
+                self._plan.log.record("inject", "dropped_callback", pid,
+                                      completion)
+                self._dropped.inc()
+                return True
+        return False
+
     # -- worker loops ------------------------------------------------------------
 
     def _reader_loop(self) -> None:
@@ -174,16 +383,24 @@ class ThreadedSSD:
             item = self._read_queue.get()
             if item is self._SHUTDOWN:
                 return
-            pid, callback, args = item
+            request, pid, callback, args = item
             try:
-                raw = self._page_file.read_page(pid)
-                records = SlottedPage.from_bytes(raw).records()
+                records = _read_records_with_retry(
+                    self._page_file, pid, self._retry_policy, self._plan,
+                    self._retries, self._giveups,
+                )
             except BaseException as exc:  # surface on wait_idle
-                self._fail(exc)
+                if self._claim(request):
+                    self._fail(exc)
                 continue
             self._pages_read.inc()
-            self._callback_queue.put((callback, records, args,
-                                      time.perf_counter()))
+            if self._should_drop(pid):
+                # The read happened but its completion is lost; the
+                # request stays in flight until the deadline reclaims it.
+                continue
+            if self._claim(request):
+                self._callback_queue.put((callback, records, args,
+                                          time.perf_counter()))
 
     def _callback_loop(self) -> None:
         while True:

@@ -2,10 +2,36 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import pytest
 
 from repro.graph import generators
 from repro.graph.ordering import apply_ordering
+
+
+@lru_cache(maxsize=None)
+def _seeded_graph(model: str, args: tuple, seed: int, ordering: str):
+    graph = getattr(generators, model)(*args, seed=seed)
+    if ordering != "natural":
+        graph, _ = apply_ordering(graph, ordering)
+    return graph
+
+
+@pytest.fixture(scope="session")
+def seeded_graph():
+    """Factory for deterministic test graphs, cached across the session.
+
+    ``seeded_graph("holme_kim", 300, 6, 0.5, seed=6)`` builds (once) a
+    degree-ordered Holme-Kim graph; pass ``ordering="natural"`` to skip
+    the relabeling.  Consolidates the ad-hoc per-module constructions so
+    identical graphs are built exactly once per test session.
+    """
+
+    def make(model: str, *args, seed: int = 0, ordering: str = "degree"):
+        return _seeded_graph(model, args, seed, ordering)
+
+    return make
 
 
 @pytest.fixture(scope="session")
@@ -15,21 +41,20 @@ def figure1():
 
 
 @pytest.fixture(scope="session")
-def small_rmat():
+def small_rmat(seeded_graph):
     """A small R-MAT graph for cross-method comparisons."""
-    return generators.rmat(400, 3000, seed=5)
+    return seeded_graph("rmat", 400, 3000, seed=5, ordering="natural")
 
 
 @pytest.fixture(scope="session")
-def small_rmat_ordered(small_rmat):
-    graph, _ = apply_ordering(small_rmat, "degree")
-    return graph
+def small_rmat_ordered(seeded_graph):
+    return seeded_graph("rmat", 400, 3000, seed=5)
 
 
 @pytest.fixture(scope="session")
-def clustered_graph():
+def clustered_graph(seeded_graph):
     """A Holme-Kim graph with substantial clustering."""
-    return generators.holme_kim(300, 6, 0.5, seed=6)
+    return seeded_graph("holme_kim", 300, 6, 0.5, seed=6, ordering="natural")
 
 
 def nx_triangle_count(graph):

@@ -12,8 +12,8 @@ from repro.memory import edge_iterator
 
 
 @pytest.fixture(scope="module")
-def dense_graph():
-    return generators.holme_kim(500, 8, 0.5, seed=13)
+def dense_graph(seeded_graph):
+    return seeded_graph("holme_kim", 500, 8, 0.5, seed=13, ordering="natural")
 
 
 class TestDoulion:

@@ -23,7 +23,6 @@ from repro.errors import ConfigurationError
 from repro.graph import generators
 from repro.graph.io import write_edge_list
 from repro.graph.metrics import per_vertex_triangles
-from repro.graph.ordering import apply_ordering
 from repro.memory import count_cliques, edge_iterator
 from repro.preprocess import build_store_external
 from repro.storage.writer import AsyncFile
@@ -96,8 +95,8 @@ class TestPipeline:
 
 
 class TestDeterminism:
-    def test_same_input_same_results(self, tmp_path):
-        graph, _ = apply_ordering(generators.rmat(200, 1200, seed=55), "degree")
+    def test_same_input_same_results(self, tmp_path, seeded_graph):
+        graph = seeded_graph("rmat", 200, 1200, seed=55)
         runs = [
             triangulate_disk(graph, page_size=512, buffer_pages=6)
             for _ in range(2)

@@ -16,6 +16,9 @@ from repro.storage import (
 )
 
 
+pytestmark = pytest.mark.fast
+
+
 @pytest.fixture()
 def page_file(tmp_path, small_rmat):
     store = GraphStore.from_graph(small_rmat, 256)
@@ -82,3 +85,188 @@ class TestTransientFaults:
                 ssd.async_read(pid, lambda records, p=None: seen.append(1))
             ssd.wait_idle()
         assert len(seen) == min(4, store.num_pages)
+
+
+# ---------------------------------------------------------------------------
+# The declarative fault subsystem (FaultPlan / FaultyPageFile /
+# RecoveringLoader / RetryPolicy) — unit level; the engine-level matrix
+# lives in test_fault_matrix.py.
+# ---------------------------------------------------------------------------
+
+from repro.errors import ConfigurationError, FaultExhaustedError
+from repro.storage import (
+    FaultPlan,
+    FaultSpec,
+    FaultyPageFile,
+    RecoveringLoader,
+    RetryPolicy,
+)
+
+
+class TestFaultSpecValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("cosmic-ray")
+
+    def test_rate_bounds(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("transient", rate=1.5)
+
+    def test_latency_needs_delay(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("latency", rate=0.5)
+        FaultSpec("latency", rate=0.5, delay=0.001)  # fine
+
+    def test_times_positive(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec("transient", rate=0.5, times=0)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_backoff_grows_and_is_jitter_bounded(self):
+        policy = RetryPolicy(backoff_base=0.001, backoff_factor=2.0,
+                             jitter=0.5)
+        values = [policy.backoff(0, attempt) for attempt in range(4)]
+        for attempt, value in enumerate(values):
+            base = 0.001 * 2.0 ** attempt
+            assert base <= value <= base * 1.5
+
+    def test_no_jitter_is_exact(self):
+        policy = RetryPolicy(backoff_base=0.001, jitter=0.0)
+        assert policy.backoff(5, 2) == 0.001 * 4
+
+
+class TestFaultPlan:
+    def test_explicit_pages_override_rate(self):
+        plan = FaultPlan([FaultSpec("transient", pages=frozenset({3}))])
+        assert plan.actions(3, 0)
+        assert not plan.actions(4, 0)
+
+    def test_times_bounds_attempts(self):
+        plan = FaultPlan([FaultSpec("transient", pages=frozenset({0}),
+                                    times=2)])
+        assert plan.actions(0, 0) and plan.actions(0, 1)
+        assert not plan.actions(0, 2)
+
+    def test_actions_ordered_by_kind(self):
+        plan = FaultPlan([
+            FaultSpec("torn", pages=frozenset({0})),
+            FaultSpec("latency", pages=frozenset({0}), delay=0.001),
+        ])
+        kinds = [action.kind for action in plan.actions(0, 0)]
+        assert kinds == ["latency", "torn"]
+
+    def test_needs_timeout(self):
+        assert FaultPlan([FaultSpec("stall", rate=0.1,
+                                    delay=0.5)]).needs_timeout
+        assert not FaultPlan([FaultSpec("transient", rate=0.1)]).needs_timeout
+
+
+class TestFaultyPageFile:
+    def test_transient_heals_after_times(self, page_file):
+        handle, _store = page_file
+        plan = FaultPlan([FaultSpec("transient", pages=frozenset({0}),
+                                    times=1)])
+        faulty = FaultyPageFile(handle, plan)
+        with pytest.raises(DeviceError):
+            faulty.read_page(0)
+        assert faulty.read_page(0) == handle.read_page(0)
+        assert faulty.attempts_of(0) == 2
+
+    def test_torn_page_is_detected_by_decoder(self, page_file):
+        handle, _store = page_file
+        plan = FaultPlan([FaultSpec("torn", pages=frozenset({1}), times=1)])
+        faulty = FaultyPageFile(handle, plan)
+        with pytest.raises(PageFormatError):
+            SlottedPage.from_bytes(faulty.read_page(1))
+        SlottedPage.from_bytes(faulty.read_page(1))  # healed
+
+    def test_latency_sleeps_injected_delay(self, page_file):
+        handle, _store = page_file
+        slept = []
+        plan = FaultPlan([FaultSpec("latency", pages=frozenset({0}),
+                                    delay=0.25)])
+        faulty = FaultyPageFile(handle, plan, sleep=slept.append)
+        faulty.read_page(0)
+        assert slept == [0.25]
+
+
+class TestSyncDeviceRecovery:
+    def test_retries_through_fault_plan(self, page_file):
+        handle, _store = page_file
+        plan = FaultPlan([FaultSpec("transient", pages=frozenset({0}),
+                                    times=2)])
+        device = SyncDevice(FaultyPageFile(handle, plan),
+                            retry_policy=RetryPolicy(max_retries=3,
+                                                     backoff_base=0.0))
+        records = device.read_page(0)
+        assert records
+        assert device.registry.value("recovery.retries") == 2
+
+    def test_exhaustion_is_typed(self, page_file):
+        handle, _store = page_file
+        plan = FaultPlan([FaultSpec("transient", pages=frozenset({0}),
+                                    times=100)])
+        device = SyncDevice(FaultyPageFile(handle, plan),
+                            retry_policy=RetryPolicy(max_retries=2,
+                                                     backoff_base=0.0))
+        with pytest.raises(FaultExhaustedError) as excinfo:
+            device.read_page(0)
+        assert excinfo.value.pid == 0
+        assert isinstance(excinfo.value, DeviceError)
+
+    def test_no_policy_fails_fast(self, page_file):
+        handle, _store = page_file
+        plan = FaultPlan([FaultSpec("transient", pages=frozenset({0}),
+                                    times=1)])
+        device = SyncDevice(FaultyPageFile(handle, plan))
+        with pytest.raises(DeviceError):
+            device.read_page(0)
+        assert device.registry.value("recovery.retries") == 0
+
+
+class TestRecoveringLoader:
+    def _store(self, small_rmat):
+        return GraphStore.from_graph(small_rmat, 256)
+
+    def test_accumulates_virtual_delay(self, small_rmat):
+        store = self._store(small_rmat)
+        plan = FaultPlan([FaultSpec("latency", pages=frozenset({0}),
+                                    delay=0.5)])
+        loader = RecoveringLoader(store.decode_page, plan)
+        loaded = loader(0)
+        assert [r.vertex for r in loaded] \
+            == [r.vertex for r in store.decode_page(0)]
+        assert loader.take_delay() == 0.5
+        assert loader.take_delay() == 0.0  # drained
+
+    def test_retry_charges_backoff_not_sleep(self, small_rmat):
+        store = self._store(small_rmat)
+        plan = FaultPlan([FaultSpec("transient", pages=frozenset({0}),
+                                    times=2)])
+        policy = RetryPolicy(max_retries=3, backoff_base=0.001, jitter=0.0)
+        loader = RecoveringLoader(store.decode_page, plan, policy)
+        assert [r.vertex for r in loader(0)] \
+            == [r.vertex for r in store.decode_page(0)]
+        # Two retries: backoff(0) + backoff(1) = 0.001 + 0.002.
+        assert abs(loader.take_delay() - 0.003) < 1e-12
+        assert loader.registry.value("recovery.retries") == 2
+
+    def test_terminal_after_budget(self, small_rmat):
+        store = self._store(small_rmat)
+        plan = FaultPlan([FaultSpec("torn", pages=frozenset({0}),
+                                    times=100)])
+        loader = RecoveringLoader(store.decode_page, plan,
+                                  RetryPolicy(max_retries=2))
+        with pytest.raises(FaultExhaustedError):
+            loader(0)
+        assert loader.registry.value("recovery.giveups") == 1
+        assert plan.log.counts()["giveup"] == 1

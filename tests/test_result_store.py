@@ -97,3 +97,90 @@ class TestTriangleStore:
         triangle_store, _graph = store
         assert triangle_store.triangles_of_vertex(10**6) == []
         assert triangle_store.trigonal_connectivity(10**6, 0) == 0
+
+
+class TestRunCheckpoint:
+    """Iteration-level checkpoint/resume (see docs/robustness.md)."""
+
+    def _checkpointed_run(self, graph, checkpoint):
+        from repro.memory.base import CollectSink
+
+        sink = CollectSink()
+        triangulate_disk(graph, page_size=256, buffer_pages=4, sink=sink,
+                         checkpoint=checkpoint)
+        return sorted(sink.triangles)
+
+    def test_resume_replays_exact_output(self, small_rmat_ordered, tmp_path):
+        from repro.core import RunCheckpoint
+
+        first = RunCheckpoint()
+        expected = self._checkpointed_run(small_rmat_ordered, first)
+        assert len(first.committed()) > 1
+        path = first.save(tmp_path / "run.ckpt.json")
+        resumed = RunCheckpoint.load(path)
+        replayed = self._checkpointed_run(small_rmat_ordered, resumed)
+        assert replayed == expected
+
+    def test_partial_checkpoint_resumes_midway(self, small_rmat_ordered):
+        from repro.core import RunCheckpoint
+
+        full = RunCheckpoint()
+        expected = self._checkpointed_run(small_rmat_ordered, full)
+        # Drop the tail half of the committed iterations: the resumed run
+        # replays the head and re-triangulates only the tail.
+        partial = RunCheckpoint.from_dict(full.to_dict())
+        committed = partial.committed()
+        for index in committed[len(committed) // 2:]:
+            del partial._iterations[index]
+        replayed = self._checkpointed_run(small_rmat_ordered, partial)
+        assert replayed == expected
+        assert partial.committed() == committed
+
+    def test_geometry_mismatch_rejected(self, small_rmat_ordered, figure1):
+        from repro.core import RunCheckpoint
+        from repro.errors import CheckpointError
+
+        checkpoint = RunCheckpoint()
+        self._checkpointed_run(small_rmat_ordered, checkpoint)
+        with pytest.raises(CheckpointError):
+            self._checkpointed_run(figure1, checkpoint)
+
+    def test_double_commit_rejected(self):
+        from repro.core import RunCheckpoint
+        from repro.errors import CheckpointError
+
+        checkpoint = RunCheckpoint()
+        checkpoint.record(0, 0, 3, [(0, 1, [2])])
+        with pytest.raises(CheckpointError):
+            checkpoint.record(0, 0, 3, [(0, 1, [2])])
+
+    def test_bad_payload_rejected(self):
+        from repro.core import RunCheckpoint
+        from repro.errors import CheckpointError
+
+        with pytest.raises(CheckpointError):
+            RunCheckpoint.from_dict({"schema": "something/else"})
+        with pytest.raises(CheckpointError):
+            RunCheckpoint.from_dict({
+                "schema": "repro.core/run-checkpoint", "version": 99,
+            })
+
+    def test_threaded_engine_checkpoints_too(self, small_rmat_ordered,
+                                             tmp_path):
+        from repro.core import RunCheckpoint
+        from repro.core.threaded import triangulate_threaded
+        from repro.memory.base import CollectSink
+
+        first = RunCheckpoint()
+        sink = CollectSink()
+        triangulate_threaded(small_rmat_ordered, tmp_path / "a",
+                             buffer_pages=4, page_size=256, sink=sink,
+                             checkpoint=first)
+        expected = sorted(sink.triangles)
+        resumed = RunCheckpoint.from_dict(first.to_dict())
+        sink2 = CollectSink()
+        result = triangulate_threaded(small_rmat_ordered, tmp_path / "b",
+                                      buffer_pages=4, page_size=256,
+                                      sink=sink2, checkpoint=resumed)
+        assert sorted(sink2.triangles) == expected
+        assert result.pages_read == 0  # everything replayed, nothing read

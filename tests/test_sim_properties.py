@@ -10,6 +10,12 @@ from repro.sim import CostModel, ExternalRead, IterationTrace, RunTrace, simulat
 cost = CostModel(page_read_time=100e-6, op_time=1e-6, channels=2,
                  candidate_op_factor=1.0)
 
+delay_strategy = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=0.0, max_value=0.005, allow_nan=False,
+              allow_infinity=False),
+)
+
 iteration_strategy = st.builds(
     IterationTrace,
     fill_reads=st.integers(0, 6),
@@ -22,10 +28,37 @@ iteration_strategy = st.builds(
             pid=st.integers(0, 50),
             cpu_ops=st.integers(0, 500),
             buffered=st.booleans(),
+            delay=delay_strategy,
         ),
         max_size=8,
     ),
+    fill_delay=delay_strategy,
 )
+
+
+def _without_delays(trace: RunTrace) -> RunTrace:
+    """A clean copy of *trace*: same workload, zero injected delay."""
+    return RunTrace(
+        num_pages=trace.num_pages,
+        m_in=trace.m_in,
+        m_ex=trace.m_ex,
+        sync_external=trace.sync_external,
+        iterations=[
+            IterationTrace(
+                fill_reads=it.fill_reads,
+                fill_buffered=it.fill_buffered,
+                candidate_ops=it.candidate_ops,
+                internal_page_ops=list(it.internal_page_ops),
+                external_reads=[
+                    ExternalRead(pid=r.pid, cpu_ops=r.cpu_ops,
+                                 buffered=r.buffered)
+                    for r in it.external_reads
+                ],
+                output_pages=it.output_pages,
+            )
+            for it in trace.iterations
+        ],
+    )
 
 trace_strategy = st.builds(
     RunTrace,
@@ -101,3 +134,54 @@ class TestSchedulerInvariants:
         trace.sync_external = True
         sync = simulate(trace, cost, cores=1, serial=True).elapsed
         assert sync >= overlapped - 1e-12
+
+
+class TestFaultLatencyInvariants:
+    """Injected fault delay can only slow the simulated run down."""
+
+    @given(trace_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_faulty_never_beats_clean(self, trace):
+        clean = _without_delays(trace)
+        for serial in (True, False):
+            faulty_elapsed = simulate(trace, cost, cores=1,
+                                      serial=serial).elapsed
+            clean_elapsed = simulate(clean, cost, cores=1,
+                                     serial=serial).elapsed
+            assert faulty_elapsed >= clean_elapsed - 1e-12
+
+    @given(trace_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_sync_mode_charges_delay_exactly(self, trace):
+        """The blocking path serializes every injected second."""
+        trace.sync_external = True
+        clean = _without_delays(trace)
+        faulty_elapsed = simulate(trace, cost, cores=1, serial=True).elapsed
+        clean_elapsed = simulate(clean, cost, cores=1, serial=True).elapsed
+        assert abs(
+            (faulty_elapsed - clean_elapsed) - trace.total_fault_delay
+        ) < 1e-9
+
+    @given(trace_strategy, st.floats(min_value=1.0, max_value=4.0,
+                                     allow_nan=False, allow_infinity=False))
+    @settings(max_examples=40, deadline=None)
+    def test_delay_monotone_in_magnitude(self, trace, factor):
+        """Scaling every injected delay up never speeds the run up."""
+
+        def scaled(f: float) -> RunTrace:
+            out = _without_delays(trace)
+            for base, it in zip(trace.iterations, out.iterations):
+                it.fill_delay = base.fill_delay * f
+                for src, dst in zip(base.external_reads, it.external_reads):
+                    dst.delay = src.delay * f
+            return out
+
+        small = simulate(scaled(1.0), cost, cores=1, serial=True).elapsed
+        large = simulate(scaled(factor), cost, cores=1, serial=True).elapsed
+        assert large >= small - 1e-12
+
+    @given(trace_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_clean_trace_has_zero_fault_delay(self, trace):
+        assert _without_delays(trace).total_fault_delay == 0.0
+        assert trace.total_fault_delay >= 0.0

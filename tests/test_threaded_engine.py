@@ -7,7 +7,6 @@ import pytest
 from repro.core import triangulate_threaded
 from repro.errors import ConfigurationError
 from repro.graph import generators
-from repro.graph.ordering import apply_ordering
 from repro.memory import CollectSink, canonical_triangles, edge_iterator
 
 
@@ -41,9 +40,8 @@ class TestThreadedCorrectness:
                                       page_size=64)
         assert result.triangles == 40 * 39 * 38 // 6
 
-    def test_deterministic_counts_across_windows(self, tmp_path):
-        graph, _ = apply_ordering(generators.holme_kim(200, 6, 0.5, seed=3),
-                                  "degree")
+    def test_deterministic_counts_across_windows(self, tmp_path, seeded_graph):
+        graph = seeded_graph("holme_kim", 200, 6, 0.5, seed=3)
         expected = edge_iterator(graph).triangles
         for window in (1, 2, 8):
             result = triangulate_threaded(graph, tmp_path / str(window),

@@ -12,14 +12,12 @@ import pytest
 from repro.core import OPTConfig, make_store, run_opt
 from repro.core.plugins import EdgeIteratorPlugin, MGTPlugin, VertexIteratorPlugin
 from repro.graph import generators
-from repro.graph.ordering import apply_ordering
 from repro.memory import edge_iterator
 
 
 @pytest.fixture(scope="module")
-def setup():
-    graph, _ = apply_ordering(generators.holme_kim(400, 8, 0.4, seed=17),
-                              "degree")
+def setup(seeded_graph):
+    graph = seeded_graph("holme_kim", 400, 8, 0.4, seed=17)
     store = make_store(graph, 512)
     return graph, store
 

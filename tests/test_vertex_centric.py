@@ -99,3 +99,25 @@ class TestParallelEdgeIterator:
 
         with pytest.raises(ConfigurationError):
             stripe_bounds(figure1, 0)
+
+    def test_zero_edge_graph_single_stripe(self):
+        from repro.graph.graph import Graph
+        from repro.memory.parallel import parallel_edge_iterator, stripe_bounds
+
+        empty = Graph(np.zeros(6, dtype=np.int64),
+                      np.array([], dtype=np.int32))
+        # No successor mass to balance: one full-range stripe, not five
+        # empty ones.
+        assert stripe_bounds(empty, 4) == [(0, empty.num_vertices)]
+        assert parallel_edge_iterator(empty, workers=4).triangles == 0
+
+    def test_more_workers_than_vertices(self, figure1):
+        from repro.memory.parallel import parallel_edge_iterator, stripe_bounds
+
+        stripes = stripe_bounds(figure1, figure1.num_vertices + 10)
+        covered = [v for lo, hi in stripes for v in range(lo, hi)]
+        assert covered == list(range(figure1.num_vertices))
+        assert all(hi > lo for lo, hi in stripes)
+        result = parallel_edge_iterator(figure1,
+                                        workers=figure1.num_vertices + 10)
+        assert result.triangles == 5
