@@ -3,6 +3,7 @@
 from repro.analysis.amdahl import SpeedupRow, amdahl_bound, fit_parallel_fraction
 from repro.analysis.costs import (
     CostBreakdown,
+    cost_conformance,
     ideal_cost,
     mgt_io_bound,
     opt_serial_cost,
@@ -19,6 +20,7 @@ __all__ = [
     "bar_chart",
     "series_chart",
     "build_report",
+    "cost_conformance",
     "fit_parallel_fraction",
     "ideal_cost",
     "mgt_io_bound",

@@ -22,6 +22,7 @@ from repro.sim.trace import RunTrace
 
 __all__ = [
     "CostBreakdown",
+    "cost_conformance",
     "ideal_cost",
     "mgt_io_bound",
     "opt_serial_cost",
@@ -80,6 +81,51 @@ def relative_elapsed_time(method_elapsed: float, ideal_elapsed: float) -> float:
     if ideal_elapsed <= 0:
         raise ValueError("ideal elapsed time must be positive")
     return method_elapsed / ideal_elapsed
+
+
+def cost_conformance(
+    trace: RunTrace,
+    measured_elapsed: float,
+    cost: CostModel = DEFAULT_COST_MODEL,
+    *,
+    tolerance: float = 0.15,
+    basis: str = "simulated",
+) -> dict:
+    """Check a measured run against the ``Cost_OPTserial`` prediction.
+
+    Evaluates the Section 3.3 closed form on the run's own trace —
+    ``c(P(G) − Δin) + Cost_CPU + c·Δex`` — converts it to seconds via
+    the model's ``op_time``, and compares *measured_elapsed* against it.
+    On the simulated engine in serial mode the two describe the same
+    schedule, so drift beyond *tolerance* means the scheduler and the
+    analytic model have diverged (the check the paper's ~7%-of-ideal
+    claim rests on).  On the threaded engine *measured_elapsed* is wall
+    seconds on real hardware, so the verdict reports how far the machine
+    is from the calibrated model rather than a correctness property —
+    callers pass ``basis="wall"`` to say so.
+
+    Returns a JSON-ready dict: ``predicted_elapsed``,
+    ``measured_elapsed``, ``ratio``, ``tolerance``, ``basis``,
+    ``verdict`` (``"conforms"`` / ``"drift"``), plus the measured
+    ``delta_in_ops`` / ``delta_ex_ops`` / ``delta_ex_minus_in_ops``
+    behind the prediction.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    breakdown = opt_serial_cost(trace, cost)
+    predicted = breakdown.total * cost.op_time
+    ratio = measured_elapsed / predicted if predicted > 0 else float("inf")
+    return {
+        "predicted_elapsed": predicted,
+        "measured_elapsed": measured_elapsed,
+        "ratio": ratio,
+        "tolerance": tolerance,
+        "basis": basis,
+        "verdict": "conforms" if abs(ratio - 1.0) <= tolerance else "drift",
+        "delta_in_ops": breakdown.delta_in_ops,
+        "delta_ex_ops": breakdown.delta_ex_ops,
+        "delta_ex_minus_in_ops": breakdown.delta_ex_ops - breakdown.delta_in_ops,
+    }
 
 
 def mgt_io_bound(

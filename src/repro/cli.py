@@ -17,8 +17,13 @@ Subcommands
 Observability: ``triangulate --report out.json`` captures the run as a
 :class:`~repro.obs.RunReport` (phase spans, SSD/buffer counters, and the
 derived ``overhead_vs_ideal``); ``report --run out.json`` pretty-prints
-one.  The global ``--verbose`` / ``--quiet`` flags configure the
-``repro.*`` logger hierarchy.
+one.  ``triangulate --trace out.trace.json`` additionally records the
+run's causal event timeline (Chrome trace_event JSON — load it in
+Perfetto or ``chrome://tracing``): simulated time for the disk-based
+methods, wall time for ``--method opt-threaded``.  ``trace
+out.trace.json`` summarizes a saved trace as overlap analytics plus an
+ASCII Gantt chart.  The global ``--verbose`` / ``--quiet`` flags
+configure the ``repro.*`` logger hierarchy.
 
 Robustness: ``triangulate --fault-kind transient --fault-rate 0.2``
 injects a seeded :class:`~repro.storage.faults.FaultPlan` into the
@@ -106,7 +111,7 @@ def _cmd_triangulate(args) -> int:
     from repro.baselines import cc_ds, cc_seq, graphchi_tri, mgt
     from repro.core import RunCheckpoint, make_store, triangulate_disk
     from repro.memory import edge_iterator, forward, matrix_count, vertex_iterator
-    from repro.obs import RunReport
+    from repro.obs import EventTracer, RunReport, write_chrome_trace
     from repro.sim import CostModel
 
     graph = _load_graph(args)
@@ -119,9 +124,24 @@ def _cmd_triangulate(args) -> int:
             "method": method,
             "ordering": getattr(args, "ordering", "degree"),
         })
+    traced_methods = ("opt", "opt-vi", "mgt", "opt-threaded")
+    tracer = None
+    if args.trace:
+        if method not in traced_methods:
+            print("error: --trace applies to the disk-based methods "
+                  "(opt, opt-vi, mgt, opt-threaded) only", file=sys.stderr)
+            return 1
+        # Disk methods replay on the deterministic simulated clock; the
+        # threaded engine records real thread timelines in wall time.
+        tracer = (EventTracer.wall() if method == "opt-threaded"
+                  else EventTracer.sim())
     fault_plan, retry_policy = _build_fault_plan(args)
-    if (fault_plan or args.checkpoint) and method not in ("opt", "opt-vi", "mgt"):
-        print("error: --fault-kind / --checkpoint apply to the disk-based "
+    if fault_plan and method not in traced_methods:
+        print("error: --fault-kind applies to the disk-based methods "
+              "(opt, opt-vi, mgt, opt-threaded) only", file=sys.stderr)
+        return 1
+    if args.checkpoint and method not in ("opt", "opt-vi", "mgt"):
+        print("error: --checkpoint applies to the disk-based "
               "methods (opt, opt-vi, mgt) only", file=sys.stderr)
         return 1
     checkpoint = None
@@ -149,10 +169,26 @@ def _cmd_triangulate(args) -> int:
                                   report=report, ideal_cpu_ops=ideal_cpu_ops,
                                   fault_plan=fault_plan,
                                   retry_policy=retry_policy,
-                                  checkpoint=checkpoint)
+                                  checkpoint=checkpoint,
+                                  trace=tracer)
         if checkpoint is not None:
             path = checkpoint.save(args.checkpoint)
             print(f"wrote checkpoint to {path}")
+    elif method == "opt-threaded":
+        import tempfile
+
+        from repro.core import triangulate_threaded
+
+        store = make_store(graph, args.page_size)
+        buffer_pages = max(2, int(round(store.num_pages * args.buffer_ratio)))
+        with tempfile.TemporaryDirectory(prefix="opt-threaded-") as tmp:
+            result = triangulate_threaded(store, tmp,
+                                          buffer_pages=buffer_pages,
+                                          page_size=args.page_size,
+                                          report=report,
+                                          fault_plan=fault_plan,
+                                          retry_policy=retry_policy,
+                                          trace=tracer)
     elif method in ("cc-seq", "cc-ds", "graphchi"):
         from repro.core import buffer_pages_for_ratio, make_store as _ms
 
@@ -175,16 +211,22 @@ def _cmd_triangulate(args) -> int:
                   "matrix": matrix_count}[method]
         result = runner(graph)
 
+    elapsed_label = ("elapsed (wall s)" if method == "opt-threaded"
+                     else "elapsed (simulated s)")
     rows = [
         ("triangles", result.triangles),
         ("cpu ops", result.cpu_ops),
         ("pages read", result.pages_read),
         ("pages written", result.pages_written),
         ("iterations", result.iterations),
-        ("elapsed (simulated s)", result.elapsed),
+        (elapsed_label, result.elapsed),
     ]
     print(format_table(["measure", "value"], rows,
                        title=f"{method} on {args.dataset or args.input}"))
+    if tracer is not None:
+        path = write_chrome_trace(args.trace, tracer)
+        print(f"wrote {len(tracer)} trace events to {path} "
+              f"(open in Perfetto / chrome://tracing)")
     if fault_plan is not None:
         counts = fault_plan.log.counts()
         fault_rows = sorted(counts.items()) or [("(no faults fired)", 0)]
@@ -336,6 +378,53 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.obs import (
+        ascii_gantt,
+        from_chrome_trace,
+        overlap_analytics,
+        validate_chrome_trace,
+    )
+
+    try:
+        payload = json.loads(Path(args.trace_file).read_text(encoding="utf-8"))
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.trace_file}: not JSON: {exc}", file=sys.stderr)
+        return 1
+    errors = validate_chrome_trace(payload)
+    if errors:
+        print(f"error: {args.trace_file}: not a valid Chrome trace:",
+              file=sys.stderr)
+        for err in errors[:10]:
+            print(f"  - {err}", file=sys.stderr)
+        return 1
+    events = from_chrome_trace(payload)
+    stats = overlap_analytics(events)
+    rows = [
+        ("events", stats["event_counts"] and sum(stats["event_counts"].values())),
+        ("span (s)", stats["span"]),
+        ("macro overlap ratio", stats["macro_overlap_ratio"]),
+        ("micro overlap ratio", stats["micro_overlap_ratio"]),
+        ("I/O outstanding (s)", stats["io_outstanding_time"]),
+        ("internal CPU (s)", stats["internal_cpu_time"]),
+        ("external CPU (s)", stats["external_cpu_time"]),
+    ]
+    print(format_table(["measure", "value"], rows,
+                       title=f"trace {args.trace_file}"))
+    util_rows = sorted(stats["track_utilization"].items())
+    if util_rows:
+        print(format_table(["track", "busy fraction"], util_rows,
+                           title="Per-track utilization"))
+    print()
+    print(ascii_gantt(events, width=args.width))
+    return 0
+
+
 def _cmd_datasets(args) -> int:
     rows = []
     for name in datasets.dataset_names():
@@ -401,7 +490,8 @@ def build_parser() -> argparse.ArgumentParser:
     tri = sub.add_parser("triangulate", help="run a triangulation method")
     add_input_args(tri)
     tri.add_argument("--method", default="opt",
-                     choices=["opt", "opt-vi", "mgt", "cc-seq", "cc-ds",
+                     choices=["opt", "opt-vi", "mgt", "opt-threaded",
+                              "cc-seq", "cc-ds",
                               "graphchi", "edge-iterator", "vertex-iterator",
                               "forward", "matrix"])
     tri.add_argument("--buffer-ratio", type=float, default=0.15)
@@ -410,6 +500,11 @@ def build_parser() -> argparse.ArgumentParser:
     tri.add_argument("--report", default=None, metavar="OUT.json",
                      help="write the run's observability report (RunReport "
                           "JSON: phase spans, counters, overhead_vs_ideal)")
+    tri.add_argument("--trace", default=None, metavar="TRACE.json",
+                     help="write the run's causal event timeline as Chrome "
+                          "trace_event JSON (Perfetto-loadable); simulated "
+                          "clock for opt/opt-vi/mgt, wall clock for "
+                          "opt-threaded")
     tri.add_argument("--fault-kind", action="append", default=[],
                      choices=["latency", "transient", "torn"],
                      help="inject seeded storage faults of this kind into the "
@@ -469,6 +564,16 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--run", default=None, metavar="REPORT.json",
                      help="pretty-print a RunReport JSON/JSONL file instead")
     rep.set_defaults(func=_cmd_report)
+
+    trc = sub.add_parser("trace",
+                         help="summarize a saved event trace: overlap "
+                              "analytics and an ASCII Gantt chart")
+    trc.add_argument("trace_file", metavar="TRACE.json",
+                     help="Chrome trace_event JSON written by "
+                          "triangulate --trace")
+    trc.add_argument("--width", type=int, default=72,
+                     help="Gantt chart width in columns")
+    trc.set_defaults(func=_cmd_trace)
 
     ds = sub.add_parser("datasets", help="list dataset stand-ins")
     ds.set_defaults(func=_cmd_datasets)

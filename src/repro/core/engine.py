@@ -21,10 +21,11 @@ from repro.core.plugins import (
     MGTPlugin,
     VertexIteratorPlugin,
 )
+from repro.analysis.costs import cost_conformance
 from repro.errors import ConfigurationError
 from repro.graph.graph import Graph
 from repro.memory.base import TriangleSink, TriangulationResult
-from repro.obs import RunReport
+from repro.obs import EventTracer, RunReport, fold_trace_analytics
 from repro.sim.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.sim.schedule import simulate
 from repro.sim.trace import RunTrace
@@ -92,6 +93,7 @@ def triangulate_disk(
     fault_plan: FaultPlan | None = None,
     retry_policy: RetryPolicy | None = None,
     checkpoint: RunCheckpoint | None = None,
+    trace: EventTracer | None = None,
 ) -> TriangulationResult:
     """Run disk-based OPT triangulation end to end.
 
@@ -125,10 +127,20 @@ def triangulate_disk(
         :class:`~repro.core.result_store.RunCheckpoint` commits each
         completed iteration so a failed run can be resumed.
 
+    trace:
+        An :class:`~repro.obs.EventTracer` recording the run's event
+        timeline.  Use ``EventTracer.sim()``: the replay emits every
+        fill / internal / external / read / morph event on simulated
+        time, deterministically per seed, ready for
+        :func:`~repro.obs.write_chrome_trace`.  With a ``report``, the
+        trace's overlap analytics and the ``Cost_OPTserial`` conformance
+        verdict are folded into ``report.derived``.
+
     Returns a :class:`TriangulationResult` whose ``elapsed`` is the
     simulated wall time and whose ``extra`` carries the trace and the
     scheduler result for deeper analysis.
     """
+    tracer = trace if trace is not None and trace.enabled else None
     plugin = resolve_plugin(plugin)
     if isinstance(source, GraphStore):
         store = source
@@ -157,11 +169,11 @@ def triangulate_disk(
         )
     trace = run_opt(store, config, sink=sink, report=report,
                     fault_plan=fault_plan, retry_policy=retry_policy,
-                    checkpoint=checkpoint)
+                    checkpoint=checkpoint, tracer=tracer)
     if report is not None:
         with report.span("replay", cores=cores):
             sim = simulate(trace, cost, cores=cores, morphing=morphing,
-                           serial=serial, report=report)
+                           serial=serial, report=report, tracer=tracer)
         ideal_ops = ideal_cpu_ops if ideal_cpu_ops is not None else trace.total_ops
         ideal = ideal_elapsed(store, ideal_ops, cost)
         report.derive("ideal_elapsed", ideal)
@@ -170,10 +182,17 @@ def triangulate_disk(
             report.derive("overhead_vs_ideal", sim.elapsed / ideal)
         report.gauge("run.elapsed_simulated").set(sim.elapsed)
         report.counter("triangles", phase="total").inc(trace.triangles)
+        report.derive("cost_conformance",
+                      cost_conformance(trace, sim.elapsed, cost,
+                                       basis="simulated"))
+        if tracer is not None:
+            fold_trace_analytics(report, tracer)
     else:
         sim = simulate(trace, cost, cores=cores, morphing=morphing,
-                       serial=serial)
+                       serial=serial, tracer=tracer)
     extra = {"trace": trace, "sim": sim, "config": config, "store": store}
+    if tracer is not None:
+        extra["tracer"] = tracer
     if report is not None:
         extra["report"] = report
     return TriangulationResult(

@@ -25,7 +25,7 @@ from repro.core.plugins import EdgeIteratorPlugin, IteratorPlugin
 from repro.core.result_store import GroupCaptureSink, RunCheckpoint
 from repro.errors import ConfigurationError
 from repro.memory.base import CountSink, TriangleSink
-from repro.obs import RunReport, get_logger
+from repro.obs import EventTracer, RunReport, get_logger
 from repro.sim.trace import ExternalRead, IterationTrace, RunTrace
 from repro.storage.buffer import BufferManager
 from repro.storage.faults import FaultPlan, RecoveringLoader, RetryPolicy
@@ -96,6 +96,7 @@ def run_opt(
     fault_plan: FaultPlan | None = None,
     retry_policy: RetryPolicy | None = None,
     checkpoint: RunCheckpoint | None = None,
+    tracer: EventTracer | None = None,
 ) -> RunTrace:
     """Run OPT over *store* and return the trace (with real triangles).
 
@@ -110,6 +111,13 @@ def run_opt(
     iteration), the buffer manager counts hits/misses/evictions into the
     report's registry, and triangles are attributed to the phase that
     found them (``triangles{phase=internal}`` / ``{phase=external}``).
+
+    With an :class:`~repro.obs.EventTracer` *tracer*, the buffer manager
+    and the fault layer mark hits / evictions / injections on the event
+    timeline as they happen.  A wall-clock tracer timestamps them in real
+    time; a sim-clock tracer silently drops them (the deterministic sim
+    timeline comes from replaying the returned trace through
+    :func:`repro.sim.schedule.simulate` with the same tracer).
 
     With a :class:`~repro.storage.faults.FaultPlan`, every page load goes
     through a :class:`~repro.storage.faults.RecoveringLoader`: the plan's
@@ -132,6 +140,8 @@ def run_opt(
         sink = CountSink()
     if report is not None:
         sink = _PhaseSink(sink, report)
+    if tracer is not None and not tracer.enabled:
+        tracer = None
     plugin = config.plugin
     reader: RecoveringLoader | None = None
     loader = store.decode_page
@@ -139,6 +149,7 @@ def run_opt(
         reader = RecoveringLoader(
             store.decode_page, fault_plan, retry_policy,
             registry=report.registry if report is not None else None,
+            tracer=tracer,
         )
         loader = reader
     if checkpoint is not None:
@@ -163,7 +174,8 @@ def run_opt(
     max_chunk = max(end - start + 1 for start, end in chunks)
     capacity = max(config.m_in, max_chunk) + config.m_ex
     buffer = BufferManager(capacity, loader=loader,
-                           registry=report.registry if report else None)
+                           registry=report.registry if report else None,
+                           tracer=tracer)
 
     output_pages_before = getattr(sink, "pages_written", 0)
     with _span(report, "run-opt", plugin=plugin.name, m_in=config.m_in,

@@ -24,6 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.analysis.costs import cost_conformance
 from repro.core.context import ChunkContext
 from repro.core.engine import resolve_plugin
 from repro.core.framework import _fold_fault_log
@@ -32,7 +33,9 @@ from repro.core.result_store import GroupCaptureSink, RunCheckpoint
 from repro.errors import ConfigurationError
 from repro.graph.graph import Graph
 from repro.memory.base import CountSink, TriangleSink, TriangulationResult
-from repro.obs import RunReport, get_logger
+from repro.obs import EventTracer, RunReport, fold_trace_analytics, get_logger
+from repro.sim.costmodel import DEFAULT_COST_MODEL
+from repro.sim.trace import ExternalRead, IterationTrace, RunTrace
 from repro.storage.faults import FaultPlan, FaultyPageFile, RetryPolicy
 from repro.storage.layout import GraphStore
 from repro.storage.page import DEFAULT_PAGE_SIZE, PageRecord
@@ -71,6 +74,7 @@ def triangulate_threaded(
     fault_plan: FaultPlan | None = None,
     retry_policy: RetryPolicy | None = None,
     checkpoint: RunCheckpoint | None = None,
+    trace: EventTracer | None = None,
 ) -> TriangulationResult:
     """Run OPT with real threads and real file I/O.
 
@@ -97,6 +101,15 @@ def triangulate_threaded(
     With a :class:`~repro.core.result_store.RunCheckpoint`, each
     completed iteration commits its emitted groups; committed iterations
     are replayed on resume instead of being re-triangulated.
+
+    With an :class:`~repro.obs.EventTracer` *trace* (wall clock), both
+    timelines land on the event stream: the main thread's ``fill`` /
+    ``internal`` / ``iteration`` slices, and the SSD's ``read.submit`` /
+    ``read.service`` / ``read.callback`` events on the reader and
+    callback threads — one Perfetto track per thread.  With a *report*
+    too, the trace's overlap analytics (macro/micro overlap ratios,
+    per-thread utilization) and the measured-vs-``Cost_OPTserial``
+    conformance check are folded into ``report.derived``.
     """
     if buffer_pages < 2:
         raise ConfigurationError("buffer must hold at least two pages")
@@ -115,6 +128,7 @@ def triangulate_threaded(
     else:
         store = GraphStore.from_graph(source, page_size)
     m_in = buffer_pages // 2
+    tracer = trace if trace is not None and trace.enabled else None
     base_sink = sink if sink is not None else CountSink()
     locked_sink = _LockedSink(base_sink)
     if checkpoint is not None:
@@ -127,15 +141,18 @@ def triangulate_threaded(
             io_workers=io_workers, window=window,
         )
 
+    run_trace = RunTrace(num_pages=store.num_pages, m_in=m_in, m_ex=window,
+                         sync_external=False)
     start = time.perf_counter()
     iterations = 0
     page_file = store.open_page_file(directory)
     try:
-        device = (FaultyPageFile(page_file, fault_plan)
+        device = (FaultyPageFile(page_file, fault_plan, tracer=tracer)
                   if fault_plan is not None else page_file)
         registry = report.registry if report is not None else None
         with ThreadedSSD(device, io_workers=io_workers,
-                         registry=registry, retry_policy=retry_policy) as ssd:
+                         registry=registry, retry_policy=retry_policy,
+                         tracer=tracer) as ssd:
             pid = 0
             while pid < store.num_pages:
                 end = store.align_chunk_end(pid, m_in)
@@ -144,6 +161,7 @@ def triangulate_threaded(
                     logger.debug("threaded iteration %d: replayed %d "
                                  "triangles from checkpoint",
                                  iterations, replayed)
+                    run_trace.iterations.append(IterationTrace())
                     if report is not None:
                         report.counter("recovery.checkpoint.replayed").inc()
                     iterations += 1
@@ -155,11 +173,14 @@ def triangulate_threaded(
                              iterations, pid, end)
                 if report is not None:
                     with report.span("iteration", index=iterations):
-                        _run_iteration(store, ssd, plugin, iteration_sink,
-                                       pid, end, window)
+                        itrace = _run_iteration(store, ssd, plugin,
+                                                iteration_sink, pid, end,
+                                                window, tracer, iterations)
                 else:
-                    _run_iteration(store, ssd, plugin, iteration_sink,
-                                   pid, end, window)
+                    itrace = _run_iteration(store, ssd, plugin,
+                                            iteration_sink, pid, end,
+                                            window, tracer, iterations)
+                run_trace.iterations.append(itrace)
                 if checkpoint is not None:
                     checkpoint.record(iterations, pid, end,
                                       iteration_sink.groups)
@@ -171,13 +192,21 @@ def triangulate_threaded(
     finally:
         page_file.close()
     elapsed = time.perf_counter() - start
+    run_trace.triangles = locked_sink.count
     if report is not None:
         report.gauge("run.elapsed_wall").set(elapsed)
         report.counter("triangles", phase="total").inc(locked_sink.count)
         report.counter("opt.iterations").inc(iterations)
         if fault_plan is not None:
             _fold_fault_log(fault_plan, report)
-    extra = {"engine": "threaded", "store": store}
+        report.derive("cost_conformance",
+                      cost_conformance(run_trace, elapsed, DEFAULT_COST_MODEL,
+                                       basis="wall"))
+        if tracer is not None:
+            fold_trace_analytics(report, tracer)
+    extra = {"engine": "threaded", "store": store, "trace": run_trace}
+    if tracer is not None:
+        extra["tracer"] = tracer
     if report is not None:
         extra["report"] = report
     return TriangulationResult(
@@ -197,10 +226,14 @@ def _run_iteration(
     pid: int,
     end: int,
     window: int,
-) -> None:
+    tracer: EventTracer | None = None,
+    index: int = 0,
+) -> IterationTrace:
     # -- fill the internal area (Algorithm 3 lines 6-8) --------------------
     # Candidate identification runs on the callback thread while later
     # fill reads are still in flight (the paper's Algorithm 7 placement).
+    itrace = IterationTrace()
+    iteration_start = tracer.now() if tracer is not None else 0.0
     chunk_records: dict[int, list[PageRecord]] = {}
     v_lo, v_hi = store.chunk_vertex_range(pid, end)
     ctx = ChunkContext(v_lo, v_hi, {}, sink)
@@ -208,13 +241,19 @@ def _run_iteration(
     def identify_candidates(records, page_id):
         chunk_records[page_id] = records
         for record in records:
-            candidates, _ = plugin.candidates_for_record(ctx, record)
+            candidates, ops = plugin.candidates_for_record(ctx, record)
+            itrace.candidate_ops += ops
             for candidate in candidates:
                 ctx.add_request(int(candidate), record.vertex)
 
     for page_id in range(pid, end + 1):
         ssd.async_read(page_id, identify_candidates, (page_id,))
     ssd.wait_idle()
+    itrace.fill_reads = end - pid + 1
+    if tracer is not None:
+        tracer.complete("fill", iteration_start,
+                        tracer.now() - iteration_start,
+                        reads=itrace.fill_reads, index=index)
 
     # Assemble the chunk's full adjacency lists (read-only afterwards).
     partial: dict[int, list] = {}
@@ -237,10 +276,13 @@ def _run_iteration(
 
     def external_triangle(records, page_id):
         # Runs on the callback thread, concurrently with the main thread's
-        # internal triangulation below (macro-level overlap).
+        # internal triangulation below (macro-level overlap).  The SSD's
+        # single callback thread serializes these, so the append is safe.
+        ops = 0
         for record in records:
             if record.vertex in ctx.requesters:
-                plugin.external_ops_for_record(ctx, record)
+                ops += plugin.external_ops_for_record(ctx, record)
+        itrace.external_reads.append(ExternalRead(pid=page_id, cpu_ops=ops))
         with issue_lock:  # Algorithm 9's atomic issue of the next request
             if pending:
                 next_pid = pending.popleft()
@@ -252,8 +294,17 @@ def _run_iteration(
             ssd.async_read(next_pid, external_triangle, (next_pid,))
 
     # -- internal triangulation on the main thread (Algorithm 5) -----------
+    internal_start = tracer.now() if tracer is not None else 0.0
     for page_id in range(pid, end + 1):
-        plugin.internal_ops_for_page(ctx, chunk_records[page_id])
+        itrace.internal_page_ops.append(
+            plugin.internal_ops_for_page(ctx, chunk_records[page_id]))
+    if tracer is not None:
+        tracer.complete("internal", internal_start,
+                        tracer.now() - internal_start, index=index)
 
     # -- iteration barrier (Algorithm 3 line 11) -----------------------------
     ssd.wait_idle()
+    if tracer is not None:
+        tracer.complete("iteration", iteration_start,
+                        tracer.now() - iteration_start, index=index)
+    return itrace

@@ -10,7 +10,10 @@ through this package so that one run produces one comparable artifact:
   both wall-clock seconds and simulated seconds in the same tree;
 * :class:`RunReport` — the export path: JSON / JSONL serialization, an
   ASCII summary table, and a stable schema that ``BENCH_*.json``
-  trajectory files and the CLI's ``--report`` flag share.
+  trajectory files and the CLI's ``--report`` flag share;
+* :class:`EventTracer` — causal event tracing on both timelines, with
+  Chrome ``trace_event`` (Perfetto) export, an ASCII Gantt renderer,
+  and overlap analytics (:mod:`repro.obs.trace`).
 
 The engines accept ``report=`` and record into it; nothing here imports
 anything outside the standard library, so storage/sim/core modules can
@@ -26,9 +29,23 @@ from repro.obs.report import (
     validate_report_dict,
 )
 from repro.obs.spans import Span, SpanTracker
+from repro.obs.trace import (
+    TRACE_SCHEMA_NAME,
+    TRACE_SCHEMA_VERSION,
+    EventTracer,
+    TraceEvent,
+    ascii_gantt,
+    fold_trace_analytics,
+    from_chrome_trace,
+    overlap_analytics,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 
 __all__ = [
     "Counter",
+    "EventTracer",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -37,7 +54,16 @@ __all__ = [
     "SCHEMA_VERSION",
     "Span",
     "SpanTracker",
+    "TRACE_SCHEMA_NAME",
+    "TRACE_SCHEMA_VERSION",
+    "TraceEvent",
+    "ascii_gantt",
     "configure_logging",
+    "fold_trace_analytics",
+    "from_chrome_trace",
     "get_logger",
-    "validate_report_dict",
+    "overlap_analytics",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
 ]

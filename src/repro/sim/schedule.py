@@ -86,7 +86,8 @@ def _stream_time(pages: int, cost: CostModel) -> float:
 
 
 def _simulate_sync_iteration(
-    iteration: IterationTrace, cost: CostModel, cores: int
+    iteration: IterationTrace, cost: CostModel, cores: int,
+    tracer=None, t0: float = 0.0, index: int = 0,
 ) -> IterationTiming:
     """Synchronous external I/O: streamed reads, then CPU, no overlap."""
     fill_io = _stream_time(iteration.fill_reads, cost) + iteration.fill_delay
@@ -100,6 +101,20 @@ def _simulate_sync_iteration(
     )
     external_cpu = cost.cpu(iteration.external_ops)
     elapsed = t_fill + internal_cpu + external_io + external_cpu
+    if tracer is not None:
+        if t_fill > 0:
+            tracer.complete("fill", t0, t_fill, track="sim/core0")
+        if internal_cpu > 0:
+            tracer.complete("internal", t0 + t_fill, internal_cpu,
+                            track="sim/core0")
+        if external_io > 0:
+            tracer.complete("read.service", t0 + t_fill + internal_cpu,
+                            external_io, track="sim/flash0",
+                            pages=iteration.external_device_reads)
+        if external_cpu > 0:
+            tracer.complete("external", t0 + t_fill + internal_cpu + external_io,
+                            external_cpu, track="sim/core0")
+        tracer.complete("iteration", t0, elapsed, track="sim/run", index=index)
     return IterationTiming(
         fill_time=t_fill,
         elapsed=elapsed,
@@ -119,11 +134,21 @@ def _simulate_iteration(
     morphing: bool,
     serial: bool,
     stats: dict | None = None,
+    tracer=None,
+    t0: float = 0.0,
+    index: int = 0,
 ) -> IterationTiming:
     latency = cost.page_read_time
     fill_io = iteration.fill_reads * latency / cost.channels + iteration.fill_delay
     candidate_cpu = cost.cpu(iteration.candidate_ops) * cost.candidate_op_factor
     t_fill = max(fill_io, candidate_cpu)
+    if tracer is not None and t_fill > 0:
+        tracer.complete("fill", t0, t_fill, track="sim/core0",
+                        reads=iteration.fill_reads,
+                        buffered=iteration.fill_buffered)
+        if iteration.fill_delay > 0:
+            tracer.instant("fault.delay", ts=t0, track="sim/flash0",
+                           phase="fill", delay=iteration.fill_delay)
 
     internal = deque(cost.cpu(ops) for ops in iteration.internal_page_ops)
     pending = deque(iteration.external_reads)
@@ -142,14 +167,27 @@ def _simulate_iteration(
         read = pending.popleft()
         in_flight += 1
         if read.buffered:
+            if tracer is not None:
+                tracer.instant("buffer.hit", ts=t0 + now, track="sim/buffer",
+                               pid=read.pid)
             heapq.heappush(heap, (now, seq, _ARRIVE, read))
         else:
             device_reads += 1
             channel = min(range(cost.channels), key=channel_free.__getitem__)
             # read.delay extends the service time: injected fault latency
             # and retry backoff occupy the channel like a slow read would.
-            done = max(channel_free[channel], now) + latency + read.delay
+            start = max(channel_free[channel], now)
+            done = start + latency + read.delay
             channel_free[channel] = done
+            if tracer is not None:
+                track = f"sim/flash{channel}"
+                tracer.instant("read.submit", ts=t0 + now, track=track,
+                               pid=read.pid, req=f"{index}:{seq}")
+                tracer.complete("read.service", t0 + start, done - start,
+                                track=track, pid=read.pid, req=f"{index}:{seq}")
+                if read.delay > 0:
+                    tracer.instant("fault.delay", ts=t0 + start, track=track,
+                                   pid=read.pid, delay=read.delay)
             heapq.heappush(heap, (done, seq, _ARRIVE, read))
         seq += 1
 
@@ -167,7 +205,15 @@ def _simulate_iteration(
     internal_finish = external_finish = t_fill
     now = t_fill
 
-    def pick(role: str) -> tuple[str, float, ExternalRead | None] | None:
+    def morph(worker: int, to: str) -> None:
+        if stats is not None:
+            stats["morph_events"] = stats.get("morph_events", 0) + 1
+        if tracer is not None:
+            tracer.instant("morph", ts=t0 + now, track=f"sim/core{worker}",
+                           to=to)
+
+    def pick(worker: int) -> tuple[str, float, ExternalRead | None] | None:
+        role = roles[worker]
         if role == "serial":
             if internal:
                 return "int", internal.popleft(), None
@@ -179,8 +225,7 @@ def _simulate_iteration(
             if internal:
                 return "int", internal.popleft(), None
             if morphing and ready:
-                if stats is not None:
-                    stats["morph_events"] = stats.get("morph_events", 0) + 1
+                morph(worker, "ext")
                 read = ready.popleft()
                 return "ext", cost.cpu(read.cpu_ops), read
             return None
@@ -192,8 +237,7 @@ def _simulate_iteration(
         # internal work while reads are in flight would stall the
         # issue-on-completion pipeline of Algorithm 9.
         if morphing and internal and not pending and in_flight == 0:
-            if stats is not None:
-                stats["morph_events"] = stats.get("morph_events", 0) + 1
+            morph(worker, "int")
             return "int", internal.popleft(), None
         return None
 
@@ -208,15 +252,23 @@ def _simulate_iteration(
         while assigned and idle:
             assigned = False
             for worker in list(idle):
-                task = pick(roles[worker])
+                task = pick(worker)
                 if task is None:
                     continue
-                kind, duration, _read = task
+                kind, duration, read = task
                 done = now + duration
                 if kind == "int":
                     internal_busy += duration
                 else:
                     external_busy += duration
+                if tracer is not None and duration > 0:
+                    if kind == "int":
+                        tracer.complete("internal", t0 + now, duration,
+                                        track=f"sim/core{worker}")
+                    else:
+                        tracer.complete("external", t0 + now, duration,
+                                        track=f"sim/core{worker}",
+                                        pid=read.pid)
                 heapq.heappush(heap, (done, seq, _FREE, (worker, kind)))
                 seq += 1
                 idle.remove(worker)
@@ -246,6 +298,8 @@ def _simulate_iteration(
     if iteration.output_pages:
         write_time = t_fill + iteration.output_pages * cost.page_write_time
         elapsed = max(elapsed, write_time)
+    if tracer is not None:
+        tracer.complete("iteration", t0, elapsed, track="sim/run", index=index)
     return IterationTiming(
         fill_time=t_fill,
         elapsed=elapsed,
@@ -265,6 +319,7 @@ def simulate(
     morphing: bool = True,
     serial: bool = False,
     report=None,
+    tracer=None,
 ) -> SimResult:
     """Replay *trace* under the given configuration.
 
@@ -277,23 +332,34 @@ def simulate(
     per-iteration ``fill`` / ``internal`` / ``external`` children, all in
     simulated seconds) and the scheduler's counters — device reads and
     thread-morphing events — land in its registry.
+
+    With an :class:`~repro.obs.EventTracer` *tracer* (use ``clock="sim"``),
+    every scheduling decision lands on the event timeline: per-worker
+    ``internal`` / ``external`` slices on ``sim/coreN`` tracks, device
+    service on ``sim/flashN`` tracks, ``read.submit`` / ``buffer.hit`` /
+    ``morph`` / ``fault.delay`` instants, and one ``iteration`` slice per
+    barrier on ``sim/run``.  The event stream is a pure function of the
+    trace and configuration — byte-identical across runs per seed.
     """
     if cores < 1:
         raise SimulationError("cores must be >= 1")
     if serial:
         cores = 1
+    if tracer is not None and not tracer.enabled:
+        tracer = None
     stats: dict = {}
-    if trace.sync_external:
-        timings = [
-            _simulate_sync_iteration(iteration, cost, cores)
-            for iteration in trace.iterations
-        ]
-    else:
-        timings = [
-            _simulate_iteration(iteration, trace.m_ex, cost, cores, morphing,
-                                serial, stats)
-            for iteration in trace.iterations
-        ]
+    timings = []
+    offset = 0.0
+    for index, iteration in enumerate(trace.iterations):
+        if trace.sync_external:
+            timing = _simulate_sync_iteration(iteration, cost, cores,
+                                              tracer, offset, index)
+        else:
+            timing = _simulate_iteration(iteration, trace.m_ex, cost, cores,
+                                         morphing, serial, stats,
+                                         tracer, offset, index)
+        timings.append(timing)
+        offset += timing.elapsed
     result = SimResult(
         elapsed=sum(t.elapsed for t in timings),
         cores=cores,

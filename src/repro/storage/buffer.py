@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import BufferError_
-from repro.obs import MetricsRegistry
+from repro.obs import EventTracer, MetricsRegistry
 from repro.storage.page import PageRecord
 
 __all__ = ["BufferManager", "Frame"]
@@ -46,12 +46,14 @@ class BufferManager:
     """
 
     def __init__(self, capacity: int, loader: Callable[[int], list[PageRecord]],
-                 *, registry: MetricsRegistry | None = None):
+                 *, registry: MetricsRegistry | None = None,
+                 tracer: EventTracer | None = None):
         if capacity < 1:
             raise BufferError_("buffer capacity must be at least one frame")
         self.capacity = capacity
         self._loader = loader
         self._frames: OrderedDict[int, Frame] = OrderedDict()
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
         self.registry = registry if registry is not None else MetricsRegistry()
         self._hits = self.registry.counter("buffer.hits")
         self._misses = self.registry.counter("buffer.misses")
@@ -98,6 +100,8 @@ class BufferManager:
         frame = self._frames.get(pid)
         if frame is not None:
             self._hits.inc()
+            if self._tracer is not None:
+                self._tracer.instant("buffer.hit", pid=pid)
             self._frames.move_to_end(pid)
         else:
             self._misses.inc()
@@ -152,6 +156,8 @@ class BufferManager:
             if frame.pin_count == 0:
                 del self._frames[pid]
                 self._evictions.inc()
+                if self._tracer is not None:
+                    self._tracer.instant("buffer.evict", pid=pid)
                 return
         raise BufferError_(
             f"all {self.capacity} frames pinned; cannot load another page"

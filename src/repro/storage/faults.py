@@ -282,10 +282,12 @@ class FaultyPageFile:
     """
 
     def __init__(self, inner: PageFile, plan: FaultPlan, *,
-                 sleep: Callable[[float], None] = time.sleep):
+                 sleep: Callable[[float], None] = time.sleep,
+                 tracer=None):
         self._inner = inner
         self.plan = plan
         self._sleep = sleep
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
         self._lock = threading.Lock()
         self._attempts: dict[int, int] = {}
 
@@ -307,6 +309,9 @@ class FaultyPageFile:
             self._attempts[pid] = attempt + 1
         torn = False
         for action in self.plan.actions(pid, attempt):
+            if self._tracer is not None:
+                self._tracer.instant("fault.inject", kind=action.kind,
+                                     pid=pid, attempt=attempt)
             if action.kind in ("latency", "stall"):
                 self.plan.log.record("inject", action.kind, pid, attempt)
                 self._sleep(action.delay)
@@ -350,12 +355,14 @@ class RecoveringLoader:
         policy: RetryPolicy | None = None,
         *,
         registry=None,
+        tracer=None,
     ):
         from repro.obs import MetricsRegistry
 
         self._decode = decode
         self.plan = plan
         self.policy = policy if policy is not None else RetryPolicy()
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
         self.registry = registry if registry is not None else MetricsRegistry()
         self._retries = self.registry.counter(RETRIES_METRIC)
         self._giveups = self.registry.counter(GIVEUPS_METRIC)
@@ -371,6 +378,12 @@ class RecoveringLoader:
         """One read attempt: apply the plan's actions, then decode."""
         torn = False
         for action in self.plan.actions(pid, attempt):
+            if self._tracer is not None and action.kind != "dropped_callback":
+                # Wall-clocked marker: a sim-mode tracer drops it (the
+                # deterministic ``fault.delay`` events come from the
+                # scheduler's replay of the charged virtual delay).
+                self._tracer.instant("fault.inject", kind=action.kind,
+                                     pid=pid, attempt=attempt)
             if action.kind in ("latency", "stall"):
                 self.plan.log.record("inject", action.kind, pid, attempt)
                 self._pending_delay += action.delay

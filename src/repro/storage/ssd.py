@@ -45,7 +45,7 @@ from repro.errors import (
     FaultExhaustedError,
     PageFormatError,
 )
-from repro.obs import MetricsRegistry, get_logger
+from repro.obs import EventTracer, MetricsRegistry, get_logger
 from repro.storage.faults import (
     FALLBACKS_METRIC,
     GIVEUPS_METRIC,
@@ -122,7 +122,8 @@ class SyncDevice:
 
     def __init__(self, page_file: PageFile, *,
                  registry: MetricsRegistry | None = None,
-                 retry_policy: RetryPolicy | None = None):
+                 retry_policy: RetryPolicy | None = None,
+                 tracer: EventTracer | None = None):
         self._page_file = page_file
         self.registry = registry if registry is not None else MetricsRegistry()
         self._pages_read = self.registry.counter(PAGES_READ_METRIC)
@@ -130,6 +131,7 @@ class SyncDevice:
         self._plan: FaultPlan | None = getattr(page_file, "plan", None)
         self._retries = self.registry.counter(RETRIES_METRIC)
         self._giveups = self.registry.counter(GIVEUPS_METRIC)
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
 
     @property
     def num_pages(self) -> int:
@@ -141,11 +143,15 @@ class SyncDevice:
 
     def read_page(self, pid: int) -> list[PageRecord]:
         """Read and decode page *pid* synchronously (with retries)."""
+        start = self._tracer.now() if self._tracer is not None else 0.0
         records = _read_records_with_retry(
             self._page_file, pid, self._retry_policy, self._plan,
             self._retries, self._giveups,
         )
         self._pages_read.inc()
+        if self._tracer is not None:
+            self._tracer.complete("read.service", start,
+                                  self._tracer.now() - start, pid=pid)
         return records
 
 
@@ -174,10 +180,12 @@ class ThreadedSSD:
 
     def __init__(self, page_file: PageFile, *, io_workers: int = 4,
                  registry: MetricsRegistry | None = None,
-                 retry_policy: RetryPolicy | None = None):
+                 retry_policy: RetryPolicy | None = None,
+                 tracer: EventTracer | None = None):
         if io_workers < 1:
             raise DeviceError("io_workers must be >= 1")
         self._page_file = page_file
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
         self.registry = registry if registry is not None else MetricsRegistry()
         self._pages_read = self.registry.counter(PAGES_READ_METRIC)
         self._async_reads = self.registry.counter("ssd.async_reads")
@@ -264,6 +272,9 @@ class ThreadedSSD:
                 self._idle.notify_all()
         self._async_reads.inc()
         self._queue_depth.observe(depth)
+        if self._tracer is not None:
+            self._tracer.instant("read.submit", pid=pid, req=request,
+                                 depth=depth)
         self._read_queue.put((request, pid, callback, args))
 
     def wait_idle(self) -> None:
@@ -345,7 +356,10 @@ class ThreadedSSD:
             attempt = self._page_file.attempts_of(pid)
         if self._plan is not None:
             self._plan.log.record("timeout", "timeout", pid, attempt)
+        if self._tracer is not None:
+            self._tracer.instant("recovery.timeout", pid=pid)
         logger.debug("read of page %d timed out; synchronous fallback", pid)
+        start = self._tracer.now() if self._tracer is not None else 0.0
         try:
             records = _read_records_with_retry(
                 self._page_file, pid, self._retry_policy, self._plan,
@@ -358,8 +372,12 @@ class ThreadedSSD:
         self._fallbacks.inc()
         if self._plan is not None:
             self._plan.log.record("fallback", "sync_reread", pid, attempt)
+        if self._tracer is not None:
+            self._tracer.complete("read.service", start,
+                                  self._tracer.now() - start, pid=pid)
+            self._tracer.instant("recovery.fallback", pid=pid)
         self._callback_queue.put((callback, records, args,
-                                  time.perf_counter()))
+                                  time.perf_counter(), pid))
 
     def _should_drop(self, pid: int) -> bool:
         """Consult the fault plan: lose this read's completion?"""
@@ -384,6 +402,7 @@ class ThreadedSSD:
             if item is self._SHUTDOWN:
                 return
             request, pid, callback, args = item
+            start = self._tracer.now() if self._tracer is not None else 0.0
             try:
                 records = _read_records_with_retry(
                     self._page_file, pid, self._retry_policy, self._plan,
@@ -394,25 +413,33 @@ class ThreadedSSD:
                     self._fail(exc)
                 continue
             self._pages_read.inc()
+            if self._tracer is not None:
+                self._tracer.complete("read.service", start,
+                                      self._tracer.now() - start,
+                                      pid=pid, req=request)
             if self._should_drop(pid):
                 # The read happened but its completion is lost; the
                 # request stays in flight until the deadline reclaims it.
                 continue
             if self._claim(request):
                 self._callback_queue.put((callback, records, args,
-                                          time.perf_counter()))
+                                          time.perf_counter(), pid))
 
     def _callback_loop(self) -> None:
         while True:
             item = self._callback_queue.get()
             if item is self._SHUTDOWN:
                 return
-            callback, records, args, completed_at = item
+            callback, records, args, completed_at, pid = item
+            start = self._tracer.now() if self._tracer is not None else 0.0
             try:
                 callback(records, *args)
             except BaseException as exc:
                 self._fail(exc)
                 continue
+            if self._tracer is not None:
+                self._tracer.complete("read.callback", start,
+                                      self._tracer.now() - start, pid=pid)
             # Queue wait + callback execution: the latency between a read
             # completing and its triangulation work being done.
             self._callback_latency.observe(time.perf_counter() - completed_at)

@@ -57,6 +57,72 @@ class TestTriangulate:
         assert code == 1
         assert "error" in capsys.readouterr().err
 
+    def test_trace_flag_writes_chrome_json(self, graph_file, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace_path = tmp_path / "run.trace.json"
+        code = main(["triangulate", "--input", str(graph_file),
+                     "--method", "opt", "--page-size", "128",
+                     "--trace", str(trace_path)])
+        assert code == 0
+        assert "trace events" in capsys.readouterr().out
+        payload = json.loads(trace_path.read_text(encoding="utf-8"))
+        assert validate_chrome_trace(payload) == []
+        names = {e["name"] for e in payload["traceEvents"] if e["ph"] != "M"}
+        assert "iteration" in names
+
+    def test_trace_flag_rejected_for_inmemory_methods(self, graph_file,
+                                                      tmp_path, capsys):
+        code = main(["triangulate", "--input", str(graph_file),
+                     "--method", "edge-iterator",
+                     "--trace", str(tmp_path / "t.json")])
+        assert code == 1
+        assert "--trace" in capsys.readouterr().err
+
+    def test_opt_threaded_method_runs(self, graph_file, tmp_path, capsys):
+        trace_path = tmp_path / "threaded.trace.json"
+        code = main(["triangulate", "--input", str(graph_file),
+                     "--method", "opt-threaded", "--page-size", "128",
+                     "--trace", str(trace_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "elapsed (wall s)" in out
+        assert trace_path.exists()
+
+
+class TestTraceCommand:
+    @pytest.fixture()
+    def trace_file(self, tmp_path, figure1):
+        from repro.graph.io import write_edge_list
+
+        graph_path = tmp_path / "fig1.txt"
+        write_edge_list(figure1, graph_path)
+        trace_path = tmp_path / "run.trace.json"
+        assert main(["triangulate", "--input", str(graph_path),
+                     "--method", "opt", "--page-size", "128",
+                     "--trace", str(trace_path)]) == 0
+        return trace_path
+
+    def test_summarizes_saved_trace(self, trace_file, capsys):
+        capsys.readouterr()
+        assert main(["trace", str(trace_file), "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "macro overlap ratio" in out
+        assert "trace span" in out
+        assert "sim/core0" in out
+
+    def test_rejects_invalid_trace_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": "nope"}', encoding="utf-8")
+        assert main(["trace", str(bad)]) == 1
+        assert "not a valid Chrome trace" in capsys.readouterr().err
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "absent.json")]) == 1
+        assert "error" in capsys.readouterr().err
+
 
 class TestLayoutCommand:
     def test_layout_packs_store(self, tmp_path, capsys):

@@ -83,6 +83,41 @@ class TestHistograms:
         histogram = MetricsRegistry().histogram("empty")
         assert histogram.percentile(99) == 0.0
 
+    def test_empty_summary_is_all_zeros(self):
+        summary = MetricsRegistry().histogram("empty").summary()
+        assert summary["count"] == 0
+        assert summary["mean"] == 0.0
+        assert summary["min"] is None and summary["max"] is None
+        assert summary["p50"] == summary["p90"] == summary["p99"] == 0.0
+
+    def test_single_sample_percentile_is_that_sample(self):
+        histogram = MetricsRegistry().histogram("one")
+        histogram.observe(7.5)
+        for q in (0, 1, 50, 99, 100):
+            assert histogram.percentile(q) == 7.5
+
+    def test_percentile_rejects_out_of_range(self):
+        histogram = MetricsRegistry().histogram("lat")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError, match="percentile"):
+            histogram.percentile(-1)
+        with pytest.raises(ValueError, match="percentile"):
+            histogram.percentile(100.5)
+
+    def test_overflowed_reservoir_keeps_exact_extremes(self):
+        """Past max_samples, percentiles degrade to the retained prefix
+        but count/sum/min/max stay exact."""
+        histogram = MetricsRegistry().histogram("big")
+        histogram.max_samples = 8
+        for value in range(100):
+            histogram.observe(float(value))
+        assert histogram.count == 100
+        assert histogram.sum == sum(range(100))
+        assert histogram.min == 0.0 and histogram.max == 99.0
+        # Percentiles come from the first 8 observations (0..7) only.
+        assert histogram.percentile(100) == 7.0
+        assert histogram.percentile(0) == 0.0
+
 
 class TestThreadSafety:
     def test_concurrent_counter_updates_are_exact(self):
@@ -153,6 +188,57 @@ class TestSpans:
         restored = SpanTracker.from_list(tracker.to_list())
         span = restored.find("phase")
         assert span.attrs == {"index": 3, "plugin": "edge-iterator"}
+
+    def test_callback_thread_span_after_main_tree_closed(self):
+        """A late span from a callback thread becomes its own root.
+
+        The threaded SSD's callback thread can outlive the main thread's
+        span tree (e.g. a read completing right at the barrier): opening
+        a span there must not crash or graft onto the closed tree.
+        """
+        tracker = SpanTracker()
+        with tracker.span("run"):
+            pass  # main tree opened and closed
+
+        errors: list[BaseException] = []
+
+        def late_callback():
+            try:
+                with tracker.span("read.callback", pid=42):
+                    pass
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        worker = threading.Thread(target=late_callback)
+        worker.start()
+        worker.join()
+        assert not errors
+        names = [span.name for span in tracker.roots]
+        assert names == ["run", "read.callback"]
+        assert tracker.find("run").child("read.callback") is None
+
+    def test_thread_local_stacks_do_not_cross_nest(self):
+        """A span opened on another thread while the main span is still
+        open must not nest under it — stacks are per-thread."""
+        tracker = SpanTracker()
+        started = threading.Event()
+        release = threading.Event()
+
+        def worker():
+            with tracker.span("worker-span"):
+                started.set()
+                release.wait(timeout=5)
+
+        thread = threading.Thread(target=worker)
+        with tracker.span("main-span"):
+            thread.start()
+            assert started.wait(timeout=5)
+            release.set()
+            thread.join()
+        main = tracker.find("main-span")
+        assert main.child("worker-span") is None
+        assert {span.name for span in tracker.roots} == \
+            {"main-span", "worker-span"}
 
 
 class TestRunReport:
