@@ -31,6 +31,11 @@ disk-based methods (recovery per ``--max-retries``), and
 ``--checkpoint ckpt.json`` commits each completed iteration so an
 interrupted run resumes without re-listing triangles — see
 ``docs/robustness.md``.
+
+Static analysis: ``lint`` runs the project-specific AST rules (lockset
+checker, sim-purity, obs-vocabulary conformance, ...) over the tree —
+the same gate as ``python -m repro.lint``; see
+``docs/static-analysis.md``.
 """
 
 from __future__ import annotations
@@ -425,6 +430,24 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import run_lint
+
+    argv = list(args.paths)
+    argv += ["--format", args.format]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.write_baseline:
+        argv.append("--write-baseline")
+    if args.rules:
+        argv += ["--rules", args.rules]
+    if args.root:
+        argv += ["--root", args.root]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return run_lint(argv)
+
+
 def _cmd_datasets(args) -> int:
     rows = []
     for name in datasets.dataset_names():
@@ -574,6 +597,19 @@ def build_parser() -> argparse.ArgumentParser:
     trc.add_argument("--width", type=int, default=72,
                      help="Gantt chart width in columns")
     trc.set_defaults(func=_cmd_trace)
+
+    lnt = sub.add_parser("lint",
+                         help="project-specific static analysis (lockset, "
+                              "sim-purity, obs-vocabulary, ...)")
+    lnt.add_argument("paths", nargs="*", default=["src/repro"],
+                     help="files or directories to lint (default: src/repro)")
+    lnt.add_argument("--format", choices=["text", "json"], default="text")
+    lnt.add_argument("--baseline", default=None, metavar="FILE")
+    lnt.add_argument("--write-baseline", action="store_true")
+    lnt.add_argument("--rules", default=None, metavar="ID[,ID...]")
+    lnt.add_argument("--root", default=None, metavar="DIR")
+    lnt.add_argument("--list-rules", action="store_true")
+    lnt.set_defaults(func=_cmd_lint)
 
     ds = sub.add_parser("datasets", help="list dataset stand-ins")
     ds.set_defaults(func=_cmd_datasets)

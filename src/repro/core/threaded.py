@@ -239,9 +239,13 @@ def _run_iteration(
     ctx = ChunkContext(v_lo, v_hi, {}, sink)
 
     def identify_candidates(records, page_id):
+        # Distinct page_id per callback, and the single callback thread
+        # serializes the stores; the main thread reads chunk_records only
+        # after wait_idle().  # lint: ignore[lockset]
         chunk_records[page_id] = records
         for record in records:
             candidates, ops = plugin.candidates_for_record(ctx, record)
+            # Callback-thread-only until wait_idle().  # lint: ignore[lockset]
             itrace.candidate_ops += ops
             for candidate in candidates:
                 ctx.add_request(int(candidate), record.vertex)
@@ -282,6 +286,8 @@ def _run_iteration(
         for record in records:
             if record.vertex in ctx.requesters:
                 ops += plugin.external_ops_for_record(ctx, record)
+        # Serialized by the single callback thread; the main thread reads
+        # external_reads only after wait_idle().  # lint: ignore[lockset]
         itrace.external_reads.append(ExternalRead(pid=page_id, cpu_ops=ops))
         with issue_lock:  # Algorithm 9's atomic issue of the next request
             if pending:

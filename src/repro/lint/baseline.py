@@ -1,0 +1,117 @@
+"""Baseline files: adopt a tool on a tree that already has findings.
+
+A baseline records the *accepted* findings of a tree as fingerprint →
+count, so the gate can fail on **new** findings only.  The workflow:
+
+* ``python -m repro.lint src/repro --write-baseline`` snapshots today's
+  findings into ``lint-baseline.json``;
+* subsequent runs subtract the baseline — a finding is *new* if its
+  fingerprint occurs more times than the baseline allows;
+* fixed findings become **expired** baseline entries, which the CLI
+  reports (and ``--write-baseline`` prunes) so the debt only shrinks.
+
+Fingerprints exclude line numbers (see :mod:`repro.lint.findings`), so
+moving code around neither creates new findings nor expires old ones.
+
+This repository's own gate runs with an **empty** baseline — every
+accepted finding is an inline ``# lint: ignore[...]`` with a written
+justification instead.  The baseline mechanism exists for adopting new
+rules on a large tree without a flag-day fix.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.lint.findings import Finding
+
+__all__ = ["BASELINE_SCHEMA", "Baseline"]
+
+BASELINE_SCHEMA = "repro.lint/baseline"
+BASELINE_VERSION = 1
+
+
+class Baseline:
+    """Accepted findings as ``fingerprint -> count`` with examples."""
+
+    def __init__(self, entries: dict[str, dict] | None = None):
+        self.entries: dict[str, dict] = dict(entries or {})
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        entries: dict[str, dict] = {}
+        for finding in sorted(findings):
+            entry = entries.setdefault(finding.fingerprint, {
+                "count": 0,
+                "rule": finding.rule_id,
+                "example": finding.format(),
+            })
+            entry["count"] += 1
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Load a baseline; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"{path}: not a JSON baseline: {exc}")
+        if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+            raise ConfigurationError(
+                f"{path}: not a lint baseline (schema "
+                f"{data.get('schema') if isinstance(data, dict) else None!r})"
+            )
+        entries = data.get("entries", {})
+        if not isinstance(entries, dict):
+            raise ConfigurationError(f"{path}: entries must be an object")
+        return cls(entries)
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "version": BASELINE_VERSION,
+            "entries": {key: self.entries[key] for key in sorted(self.entries)},
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        return path
+
+    # -- application ---------------------------------------------------------
+
+    def split(self, findings: Sequence[Finding]) \
+            -> tuple[list[Finding], list[Finding], list[dict]]:
+        """Partition *findings* against the baseline.
+
+        Returns ``(new, baselined, expired)``: findings beyond their
+        fingerprint's allowance, findings the baseline absorbs, and
+        baseline entries no longer fully used (fixed debt).
+        """
+        remaining = {key: entry.get("count", 0)
+                     for key, entry in self.entries.items()}
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in sorted(findings):
+            if remaining.get(finding.fingerprint, 0) > 0:
+                remaining[finding.fingerprint] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        expired = [
+            {"fingerprint": key, "unused": count,
+             "example": self.entries[key].get("example", "")}
+            for key, count in sorted(remaining.items()) if count > 0
+        ]
+        return new, baselined, expired
+
+    def __len__(self) -> int:
+        return sum(entry.get("count", 0) for entry in self.entries.values())

@@ -1,0 +1,150 @@
+"""``python -m repro.lint`` — the static-analysis gate.
+
+Exit codes follow the convention CI scripts expect:
+
+* ``0`` — no new findings (baselined / suppressed findings are fine);
+* ``1`` — new findings, or expired baseline entries (fixed debt must be
+  pruned with ``--write-baseline`` so it cannot regress silently);
+* ``2`` — usage or configuration error (unknown rule id, unreadable
+  baseline).
+
+Output is deterministic for a given tree: files are visited in sorted
+order, findings sort by position, and the JSON mode serializes with
+sorted keys — two runs over the same tree are byte-identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.lint.baseline import Baseline
+from repro.lint.engine import LintRunner
+from repro.lint.rules import ALL_RULES, default_rules
+
+__all__ = ["build_parser", "main", "run_lint"]
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Project-specific static analysis for the OPT "
+                    "reproduction (lockset, sim-purity, obs-vocabulary...).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help=f"baseline file (default: {DEFAULT_BASELINE} "
+                             f"next to the first path's repo root if it "
+                             f"exists; a missing file is an empty baseline)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="snapshot current findings into the baseline "
+                             "file and exit 0")
+    parser.add_argument("--rules", default=None, metavar="ID[,ID...]",
+                        help="run only these rule ids")
+    parser.add_argument("--root", default=None, metavar="DIR",
+                        help="directory paths are reported relative to "
+                             "(default: current directory)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="describe the registered rules and exit")
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for cls in ALL_RULES:
+        lines.append(f"{cls.rule_id} ({cls.severity})")
+        lines.append(f"    {cls.description}")
+        if cls.paper_invariant:
+            lines.append(f"    invariant: {cls.paper_invariant}")
+    return "\n".join(lines)
+
+
+def run_lint(argv: Sequence[str] | None = None, *, stdout=None) -> int:
+    """The CLI body; returns the exit code instead of raising SystemExit."""
+    out = stdout if stdout is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules(), file=out)
+        return 0
+
+    only = None
+    if args.rules:
+        only = {part.strip() for part in args.rules.split(",") if part.strip()}
+    try:
+        rules = default_rules(only)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    runner = LintRunner(rules, root=args.root)
+    result = runner.run(args.paths)
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+    if args.write_baseline:
+        Baseline.from_findings(result.findings).save(baseline_path)
+        print(f"wrote {len(result.findings)} finding(s) to {baseline_path}",
+              file=out)
+        return 0
+
+    try:
+        baseline = Baseline.load(baseline_path) if args.baseline \
+            else (Baseline.load(baseline_path) if baseline_path.exists()
+                  else Baseline())
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    new, baselined, expired = baseline.split(result.findings)
+
+    if args.format == "json":
+        payload = {
+            "schema": "repro.lint/report",
+            "version": 1,
+            "files": result.files,
+            "suppressed": result.suppressed,
+            "baselined": len(baselined),
+            "new": [finding.to_dict() for finding in new],
+            "expired": expired,
+            "by_rule": _by_rule(new),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+    else:
+        for finding in new:
+            print(finding.format(), file=out)
+        for entry in expired:
+            print(f"expired baseline entry ({entry['unused']} unused): "
+                  f"{entry['example']}", file=out)
+        summary = (f"{result.files} file(s): {len(new)} new finding(s), "
+                   f"{len(baselined)} baselined, {result.suppressed} "
+                   f"suppressed, {len(expired)} expired baseline entr"
+                   f"{'y' if len(expired) == 1 else 'ies'}")
+        print(summary, file=out)
+
+    return 1 if new or expired else 0
+
+
+def _by_rule(findings) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    return run_lint(argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Findings: what a lint rule reports, and how findings are identified.
+
+A :class:`Finding` is one diagnostic anchored to a file position.  Two
+identities matter:
+
+* the **position** (``path:line:col``) — what the human jumps to;
+* the **fingerprint** — a stable hash of ``(path, rule, message)`` that
+  deliberately excludes line numbers, so a baseline entry survives
+  unrelated edits that shift code up or down.  Two findings with the
+  same fingerprint (the same message twice in one file) are baselined by
+  *count*, not position.
+
+Findings sort by position so every output mode — text, JSON, baseline —
+is deterministic for a given tree.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["SEVERITIES", "Finding"]
+
+#: Recognized severities, strongest first.  Both fail the gate; the
+#: distinction is advisory (an ``error`` is a broken invariant, a
+#: ``warning`` is a risky pattern).
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: a rule's verdict about one source position."""
+
+    path: str          # repo-relative posix path
+    line: int          # 1-based
+    col: int           # 0-based (ast convention)
+    rule_id: str
+    message: str
+    severity: str = "error"
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-independent identity used by the baseline file."""
+        basis = f"{self.path}\x00{self.rule_id}\x00{self.message}"
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+    def format(self) -> str:
+        """The one-line text rendering (``path:line:col: sev [rule] msg``)."""
+        return (f"{self.path}:{self.line}:{self.col}: {self.severity}: "
+                f"[{self.rule_id}] {self.message}")
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }

@@ -1,0 +1,85 @@
+"""``error-types`` — raised errors come from ``repro.errors``.
+
+The library's contract (see :mod:`repro.errors`) is that every failure
+it *raises* derives from :class:`~repro.errors.ReproError`, so callers
+catch library failures with one clause while programming errors
+(``ValueError``, ``TypeError``...) propagate.  Two patterns break it:
+
+* ``raise Exception(...)`` / ``raise RuntimeError(...)`` — an untyped
+  failure no caller can distinguish from a crash;
+* ``except Exception:`` / bare ``except:`` — a handler wide enough to
+  swallow the typed errors the recovery subsystem depends on seeing
+  (a ``FaultExhaustedError`` absorbed here becomes a silently wrong
+  triangle count).
+
+Validation errors raised with the builtin ``ValueError`` / ``TypeError``
+family are allowed: per the hierarchy's docstring those are programming
+errors, not library failures.  Deliberately broad handlers (the SSD
+worker loops must capture *everything* to surface it at the
+``wait_idle`` barrier) carry a justified ``# lint: ignore[error-types]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import ModuleInfo, Rule
+from repro.lint.findings import Finding
+
+__all__ = ["ErrorTypesRule"]
+
+#: Raising these names is flagged; anything else (repro.errors types,
+#: the builtin validation family) is accepted.
+_BANNED_RAISES = frozenset({"Exception", "BaseException", "RuntimeError"})
+
+#: Catching these names is flagged (bare ``except:`` too).
+_BANNED_CATCHES = frozenset({"Exception", "BaseException"})
+
+
+def _exception_name(node: ast.AST | None) -> str | None:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class ErrorTypesRule(Rule):
+    rule_id = "error-types"
+    severity = "error"
+    description = ("raise repro.errors types, never bare Exception; "
+                   "no blanket except handlers")
+    paper_invariant = ("recovery (Algorithm 3's barriers + fault handling) "
+                       "relies on typed terminal errors surfacing, never a "
+                       "silently wrong triangle listing")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Raise):
+                name = _exception_name(node.exc)
+                if name in _BANNED_RAISES:
+                    yield self.finding(
+                        module, node,
+                        f"raise a repro.errors type instead of {name}",
+                    )
+            elif isinstance(node, ast.ExceptHandler):
+                names: list[str] = []
+                if node.type is None:
+                    names = ["<bare>"]
+                elif isinstance(node.type, ast.Tuple):
+                    names = [_exception_name(el) or "?" for el in node.type.elts]
+                else:
+                    names = [_exception_name(node.type) or "?"]
+                broad = [name for name in names
+                         if name in _BANNED_CATCHES or name == "<bare>"]
+                if broad:
+                    label = ("bare except" if broad == ["<bare>"]
+                             else f"except {', '.join(broad)}")
+                    yield self.finding(
+                        module, node,
+                        f"{label} is too broad — catch the narrowest "
+                        f"repro.errors (or stdlib) type that can occur",
+                    )

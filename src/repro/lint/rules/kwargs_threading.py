@@ -1,0 +1,68 @@
+"""``kwargs-threading`` — entry points must thread observability kwargs.
+
+``triangulate_disk`` / ``triangulate_threaded`` (and every future
+``triangulate_*`` entry point a new backend adds) accept ``report=``,
+``trace=``, and ``fault_plan=``.  The failure mode this rule targets is
+an entry point that *accepts* one of these and drops it on the floor —
+the caller passed a tracer, got no events, and concluded the engine did
+no overlapped work.  Silent observability loss is worse than a
+``TypeError``: nothing fails, the data is just missing.
+
+The check is an intentionally simple approximation: each of the watched
+parameter names present in a public ``triangulate_*`` signature must be
+*referenced* somewhere in the function body (forwarded, recorded into,
+or explicitly normalized).  A parameter that is genuinely inapplicable
+should not be in the signature at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import ModuleInfo, Rule
+from repro.lint.findings import Finding
+
+__all__ = ["KwargsThreadingRule"]
+
+#: Observability / robustness kwargs every accepting entry point must use.
+WATCHED_KWARGS = ("report", "trace", "fault_plan")
+
+_ENTRY_PREFIX = "triangulate"
+
+
+class KwargsThreadingRule(Rule):
+    rule_id = "kwargs-threading"
+    severity = "error"
+    description = ("public triangulate_* entry points must use the "
+                   "report=/trace=/fault_plan= kwargs they accept")
+    paper_invariant = ("the observability layer's guarantee that one run "
+                       "produces one comparable artifact regardless of "
+                       "engine — dropped kwargs silently void it")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in module.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not node.name.startswith(_ENTRY_PREFIX) \
+                    or node.name.startswith("_"):
+                continue
+            params = {arg.arg for arg in (node.args.args
+                                          + node.args.kwonlyargs
+                                          + node.args.posonlyargs)}
+            watched = [name for name in WATCHED_KWARGS if name in params]
+            if not watched:
+                continue
+            used: set[str] = set()
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Name) \
+                        and isinstance(inner.ctx, ast.Load):
+                    used.add(inner.id)
+            for name in watched:
+                if name not in used:
+                    yield self.finding(
+                        module, node,
+                        f"entry point {node.name!r} accepts {name}= but "
+                        f"never uses it — thread it through or remove it "
+                        f"from the signature",
+                    )

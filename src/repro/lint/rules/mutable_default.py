@@ -1,0 +1,58 @@
+"""``mutable-default`` — no mutable default argument values.
+
+A ``def f(x, cache={})`` default is evaluated once at definition time
+and shared across calls *and threads*.  In this codebase that is worse
+than the usual Python footgun: a shared default dict written from the
+SSD callback thread is exactly the unguarded shared state the lockset
+rule exists to catch, but hidden in a signature where no lock can guard
+it.  Use ``None`` and materialize inside the function.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import ModuleInfo, Rule
+from repro.lint.findings import Finding
+
+__all__ = ["MutableDefaultRule"]
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "deque", "defaultdict",
+                  "Counter", "OrderedDict"}
+
+
+def _is_mutable(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name):
+            return node.func.id in _MUTABLE_CALLS
+        if isinstance(node.func, ast.Attribute):
+            return node.func.attr in _MUTABLE_CALLS
+    return False
+
+
+class MutableDefaultRule(Rule):
+    rule_id = "mutable-default"
+    severity = "error"
+    description = "default argument values must not be mutable"
+    paper_invariant = ("shared defaults are cross-call (and cross-thread) "
+                       "state the thread-morphing design cannot lock")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults
+                if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable(default):
+                    yield self.finding(
+                        module, default,
+                        f"function {node.name!r} has a mutable default "
+                        f"argument; use None and create it in the body",
+                    )

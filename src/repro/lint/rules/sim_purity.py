@@ -1,0 +1,80 @@
+"""``sim-purity`` — the simulation must be a pure function of its inputs.
+
+The discrete-event scheduler's output — and therefore every simulated
+figure in the paper reproduction, the byte-identical trace gate
+(``tests/test_trace_determinism.py``), and report diffs in
+``benchmarks/compare_reports.py`` — must depend only on the workload,
+the cost model, and the seed.  One ``time.time()`` or unseeded
+``random.random()`` in ``sim/`` or ``analysis/`` makes traces
+irreproducible in a way no test can reliably catch (it may even pass
+under retry).  This rule bans wall-clock reads, global-random draws,
+and entropy sources in those subtrees outright; seeded
+``random.Random(seed)`` / ``numpy`` generators constructed from an
+explicit seed are fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import ImportTable, resolve_call_name
+from repro.lint.engine import ModuleInfo, Rule
+from repro.lint.findings import Finding
+
+__all__ = ["SimPurityRule"]
+
+#: Package-relative path prefixes that must stay pure.
+PURE_PREFIXES = ("sim/", "analysis/")
+
+#: Calls that read the wall clock or an entropy source.
+_IMPURE_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.sleep",
+    "os.urandom",
+    "uuid.uuid1", "uuid.uuid4",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.randbelow",
+})
+
+#: Module-level ``random.*`` draws use the global, ambiently seeded
+#: state; instances (``random.Random(seed)``) are explicit and fine.
+_GLOBAL_RANDOM_OK = frozenset({"random.Random", "random.SystemRandom"})
+
+_IMPURE_SUFFIXES = ("datetime.now", "datetime.utcnow", "datetime.today")
+
+
+class SimPurityRule(Rule):
+    rule_id = "sim-purity"
+    severity = "error"
+    description = ("no wall clock, global random, or entropy inside "
+                   "sim/ and analysis/")
+    paper_invariant = ("the simulated schedule (Section 4 cost model, "
+                       "Eq. 5) is replayed for figures and the trace "
+                       "determinism gate; it must be seed-deterministic")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.package_path.startswith(PURE_PREFIXES):
+            return
+        imports = ImportTable(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call_name(node, imports)
+            if name is None:
+                continue
+            if name in _IMPURE_CALLS or name.endswith(_IMPURE_SUFFIXES):
+                yield self.finding(
+                    module, node,
+                    f"{name}() is nondeterministic; the simulation must be "
+                    f"a pure function of workload, cost model, and seed",
+                )
+            elif (name.startswith("random.")
+                    and name not in _GLOBAL_RANDOM_OK):
+                yield self.finding(
+                    module, node,
+                    f"{name}() draws from the global random state; use an "
+                    f"explicitly seeded random.Random instance",
+                )

@@ -13,7 +13,10 @@ through this package so that one run produces one comparable artifact:
   trajectory files and the CLI's ``--report`` flag share;
 * :class:`EventTracer` — causal event tracing on both timelines, with
   Chrome ``trace_event`` (Perfetto) export, an ASCII Gantt renderer,
-  and overlap analytics (:mod:`repro.obs.trace`).
+  and overlap analytics (:mod:`repro.obs.trace`);
+* :mod:`repro.obs.vocab` — the canonical metric / trace-event name
+  vocabulary every emitter must draw from (statically enforced by the
+  ``obs-vocab`` rule of :mod:`repro.lint`).
 
 The engines accept ``report=`` and record into it; nothing here imports
 anything outside the standard library, so storage/sim/core modules can
@@ -42,8 +45,22 @@ from repro.obs.trace import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.vocab import (
+    EXTERNAL_CPU_EVENTS,
+    METRIC_NAMES,
+    TRACE_EVENT_NAMES,
+    WORK_EVENTS,
+    is_metric_name,
+    is_trace_event_name,
+)
 
 __all__ = [
+    "EXTERNAL_CPU_EVENTS",
+    "METRIC_NAMES",
+    "TRACE_EVENT_NAMES",
+    "WORK_EVENTS",
+    "is_metric_name",
+    "is_trace_event_name",
     "Counter",
     "EventTracer",
     "Gauge",

@@ -18,6 +18,8 @@ from __future__ import annotations
 import threading
 from typing import Iterable, Mapping
 
+from repro.obs.vocab import is_metric_name
+
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 LabelKey = tuple[tuple[str, str], ...]
@@ -180,13 +182,26 @@ class Histogram(_Instrument):
 
 
 class MetricsRegistry:
-    """Interning factory and snapshot point for all instruments."""
+    """Interning factory and snapshot point for all instruments.
 
-    def __init__(self) -> None:
+    ``strict_vocab=True`` rejects metric names outside the canonical
+    vocabulary (:data:`repro.obs.vocab.METRIC_NAMES`) at interning time;
+    the default stays permissive so tests and ad-hoc scripts can use
+    scratch names.  The static ``obs-vocab`` lint rule enforces the same
+    contract on the library's own call sites at CI time.
+    """
+
+    def __init__(self, *, strict_vocab: bool = False) -> None:
         self._lock = threading.Lock()
         self._metrics: dict[tuple[str, str, LabelKey], _Instrument] = {}
+        self.strict_vocab = strict_vocab
 
     def _get(self, cls, name: str, labels: Mapping[str, object]):
+        if self.strict_vocab and not is_metric_name(name):
+            raise ValueError(
+                f"metric name {name!r} is not in the canonical vocabulary "
+                f"(repro.obs.vocab.METRIC_NAMES)"
+            )
         key = (cls.kind, name, _label_key(labels))
         with self._lock:
             metric = self._metrics.get(key)

@@ -65,6 +65,13 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs.vocab import (
+    EXTERNAL_CPU_EVENTS,
+    TRACE_EVENT_NAMES,
+    WORK_EVENTS,
+    is_trace_event_name,
+)
+
 __all__ = [
     "TRACE_SCHEMA_NAME",
     "TRACE_SCHEMA_VERSION",
@@ -82,15 +89,9 @@ __all__ = [
 TRACE_SCHEMA_NAME = "repro.obs/trace"
 TRACE_SCHEMA_VERSION = 1
 
-#: Event names that represent actual work for utilization purposes
-#: (``iteration`` is structural — it brackets its children and would
-#: double-count every lane it appears on).
-WORK_EVENTS = frozenset(
-    {"fill", "internal", "external", "read.service", "read.callback"}
-)
-
-#: Event names whose intervals count as *external* CPU (micro overlap).
-EXTERNAL_CPU_EVENTS = frozenset({"external", "read.callback"})
+# WORK_EVENTS / EXTERNAL_CPU_EVENTS historically lived here; they are
+# defined in repro.obs.vocab (the single source of truth for every
+# metric and event name) and re-imported above for compatibility.
 
 
 @dataclass(frozen=True)
@@ -125,11 +126,13 @@ class EventTracer:
     is off.
     """
 
-    def __init__(self, *, clock: str = "wall", enabled: bool = True):
+    def __init__(self, *, clock: str = "wall", enabled: bool = True,
+                 strict_vocab: bool = False):
         if clock not in ("wall", "sim"):
             raise ValueError(f"clock must be 'wall' or 'sim', got {clock!r}")
         self.clock = clock
         self.enabled = enabled
+        self.strict_vocab = strict_vocab
         self._epoch = time.perf_counter()
         self._lock = threading.Lock()
         self._events: list[TraceEvent] = []
@@ -151,6 +154,11 @@ class EventTracer:
                 track: str | None, args: dict) -> None:
         if not self.enabled:
             return
+        if self.strict_vocab and not is_trace_event_name(name):
+            raise ValueError(
+                f"event name {name!r} is not in the canonical vocabulary "
+                f"(repro.obs.vocab.TRACE_EVENT_NAMES)"
+            )
         if ts is None:
             if self.clock == "sim":
                 return  # wall-clocked call site on a simulated timeline
@@ -304,8 +312,14 @@ def from_chrome_trace(payload: dict) -> list[TraceEvent]:
     return events
 
 
-def validate_chrome_trace(payload) -> list[str]:
-    """Schema errors in a Chrome trace payload (empty list = valid)."""
+def validate_chrome_trace(payload, *, known_names_only: bool = False) -> list[str]:
+    """Schema errors in a Chrome trace payload (empty list = valid).
+
+    With ``known_names_only=True``, event names outside the canonical
+    vocabulary (:data:`repro.obs.vocab.TRACE_EVENT_NAMES`) are also
+    reported — the conformance mode the obs gates use on traces our own
+    engines produced.
+    """
     errors: list[str] = []
     if not isinstance(payload, dict):
         return ["trace must be a JSON object"]
@@ -323,6 +337,10 @@ def validate_chrome_trace(payload) -> list[str]:
             continue
         if not isinstance(raw.get("name"), str) or not raw.get("name"):
             errors.append(f"{where}.name must be a non-empty string")
+        elif known_names_only and ph != "M" \
+                and not is_trace_event_name(raw["name"]):
+            errors.append(f"{where}.name {raw['name']!r} is not in the "
+                          f"canonical event vocabulary")
         if not isinstance(raw.get("tid"), int):
             errors.append(f"{where}.tid must be an integer")
         if ph == "M":

@@ -54,7 +54,13 @@ class PageFile:
         fd = os.open(path, os.O_RDONLY)
         try:
             header = os.pread(fd, _HEADER.size, 0)
-            magic, page_size, num_pages = _HEADER.unpack(header)
+            try:
+                magic, page_size, num_pages = _HEADER.unpack(header)
+            except struct.error as exc:
+                raise StorageError(
+                    f"{path}: truncated header ({len(header)} of "
+                    f"{_HEADER.size} bytes)"
+                ) from exc
             if magic != _MAGIC:
                 raise StorageError(f"{path}: not a page file (magic {magic!r})")
             expected = _HEADER.size + page_size * num_pages
@@ -64,7 +70,7 @@ class PageFile:
                     f"{path}: size {actual} != expected {expected} "
                     f"({num_pages} pages of {page_size} bytes)"
                 )
-        except Exception:
+        except (StorageError, OSError):
             os.close(fd)
             raise
         return cls(path, page_size, num_pages, fd)

@@ -365,6 +365,8 @@ class ThreadedSSD:
                 self._page_file, pid, self._retry_policy, self._plan,
                 self._retries, self._giveups,
             )
+        # Recovery must capture anything the re-read raises so wait_idle
+        # can surface it instead of deadlocking.  # lint: ignore[error-types]
         except BaseException as exc:
             self._fail(exc)
             return
@@ -408,7 +410,9 @@ class ThreadedSSD:
                     self._page_file, pid, self._retry_policy, self._plan,
                     self._retries, self._giveups,
                 )
-            except BaseException as exc:  # surface on wait_idle
+            # Worker loops may not die: every failure is parked for
+            # wait_idle to re-raise.  # lint: ignore[error-types]
+            except BaseException as exc:
                 if self._claim(request):
                     self._fail(exc)
                 continue
@@ -434,6 +438,8 @@ class ThreadedSSD:
             start = self._tracer.now() if self._tracer is not None else 0.0
             try:
                 callback(records, *args)
+            # A raising callback must not kill the callback thread; the
+            # failure surfaces at wait_idle.  # lint: ignore[error-types]
             except BaseException as exc:
                 self._fail(exc)
                 continue

@@ -27,6 +27,7 @@ class AsyncFile:
     def __init__(self, path: str | Path, *, max_queued: int = 64):
         self._handle = open(path, "wb")
         self._queue: queue.Queue = queue.Queue(maxsize=max_queued)
+        self._failure_lock = threading.Lock()
         self._failure: BaseException | None = None
         self._closed = False
         self.bytes_written = 0
@@ -83,12 +84,17 @@ class AsyncFile:
                     self._handle.write(item)
                     self.bytes_written += len(item)
                     self.chunks_written += 1
+                # The drain loop must never die silently: anything the
+                # write raises is parked for the next _check() on the
+                # main thread.  # lint: ignore[error-types]
                 except BaseException as exc:
-                    self._failure = exc
+                    with self._failure_lock:
+                        self._failure = exc
             finally:
                 self._queue.task_done()
 
     def _check(self) -> None:
-        if self._failure is not None:
+        with self._failure_lock:
             failure, self._failure = self._failure, None
+        if failure is not None:
             raise DeviceError("asynchronous write failed") from failure

@@ -1,0 +1,518 @@
+"""Tier-1 gates for the ``repro.lint`` static-analysis framework.
+
+Four layers of coverage:
+
+* **per-rule fixtures** — every registered rule has one true-positive
+  and one true-negative fixture; a coverage meta-test fails when a new
+  rule lands without them;
+* **engine semantics** — suppressions, baselines, parse errors,
+  deterministic output;
+* **the live gate** — ``src/repro`` itself lints clean with an empty
+  baseline (every accepted finding is a justified inline ignore);
+* **the race demo** — a synthetic unguarded shared write injected into
+  a copy of ``core/threaded.py`` is caught by the lockset rule, and
+  stripping the justified ignores resurfaces the real barrier-safe
+  writes they document.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import ALL_RULES, Baseline, LintRunner, default_rules
+from repro.lint.cli import run_lint
+from repro.lint.rules.lockset import LocksetRule
+
+pytestmark = [pytest.mark.fast, pytest.mark.lint]
+
+ROOT = Path(__file__).resolve().parents[1]
+
+# ---------------------------------------------------------------------------
+# fixtures: one true positive + one true negative per rule
+# ---------------------------------------------------------------------------
+
+FIXTURES = {
+    "lockset": {
+        "path": "repro/core/worker.py",
+        "tp": """
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._results = []
+                    self._thread = threading.Thread(target=self._loop)
+
+                def _loop(self):
+                    self._results.append(1)
+
+                def collect(self):
+                    self._results.append(2)
+        """,
+        "tn": """
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._results = []
+                    self._thread = threading.Thread(target=self._loop)
+
+                def _loop(self):
+                    with self._lock:
+                        self._results.append(1)
+
+                def collect(self):
+                    with self._lock:
+                        self._results.append(2)
+        """,
+    },
+    "sim-purity": {
+        "path": "repro/sim/clock.py",
+        "tp": """
+            import time
+
+            def now():
+                return time.time()
+        """,
+        "tn": """
+            import random
+
+            def rng(seed):
+                return random.Random(seed)
+        """,
+    },
+    "obs-vocab": {
+        "path": "repro/core/emit.py",
+        "tp": """
+            def emit(report):
+                report.counter("totally.bogus.metric").inc()
+        """,
+        "tn": """
+            def emit(report, name):
+                report.counter("triangles").inc()
+                report.counter(name).inc()  # dynamic: runtime check's job
+        """,
+    },
+    "callback-io": {
+        "path": "repro/core/cb.py",
+        "tp": """
+            import time
+
+            def run(ssd):
+                def on_read(records, page_id):
+                    time.sleep(0.01)
+
+                ssd.async_read(1, on_read, (1,))
+        """,
+        "tn": """
+            import time
+
+            def run(ssd):
+                def on_read(records, page_id):
+                    return len(records)
+
+                ssd.async_read(1, on_read, (1,))
+                time.sleep(0.01)  # main path may block freely
+        """,
+    },
+    "error-types": {
+        "path": "repro/core/errs.py",
+        "tp": """
+            def f(g):
+                try:
+                    g()
+                except Exception:
+                    raise RuntimeError("boom")
+        """,
+        "tn": """
+            from repro.errors import StorageError
+
+            def f(g):
+                try:
+                    g()
+                except (OSError, StorageError) as exc:
+                    raise StorageError("wrapped") from exc
+        """,
+    },
+    "kwargs-threading": {
+        "path": "repro/core/entry.py",
+        "tp": """
+            def triangulate_fake(graph, *, report=None, trace=None):
+                return len(graph)
+        """,
+        "tn": """
+            def triangulate_fake(graph, *, report=None, trace=None):
+                if report is not None:
+                    report.counter("triangles").inc()
+                return run(graph, trace=trace)
+        """,
+    },
+    "mutable-default": {
+        "path": "repro/core/defaults.py",
+        "tp": """
+            def gather(items=[]):
+                return items
+        """,
+        "tn": """
+            def gather(items=None):
+                return items or []
+        """,
+    },
+    "set-iteration": {
+        "path": "repro/core/orders.py",
+        "tp": """
+            def emit(report):
+                for key in {"b", "a"}:
+                    report.counter(key).inc()
+        """,
+        "tn": """
+            def emit(report):
+                for key in sorted({"b", "a"}):
+                    report.counter(key).inc()
+        """,
+    },
+}
+
+
+def lint_source(tmp_path, relpath: str, source: str, rules=None):
+    """Write one dedented fixture and run the engine over the tree."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    runner = LintRunner(rules if rules is not None else default_rules(),
+                        root=tmp_path)
+    return runner.run([tmp_path])
+
+
+def test_every_rule_has_fixtures():
+    assert set(FIXTURES) == {cls.rule_id for cls in ALL_RULES}
+    for spec in FIXTURES.values():
+        assert spec["tp"] and spec["tn"] and spec["path"]
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_true_positive(tmp_path, rule_id):
+    spec = FIXTURES[rule_id]
+    result = lint_source(tmp_path, spec["path"], spec["tp"])
+    hits = [f for f in result.findings if f.rule_id == rule_id]
+    assert hits, (f"{rule_id}: expected a finding in the TP fixture, got "
+                  f"{[f.format() for f in result.findings]}")
+    assert all(f.path == spec["path"] for f in hits)
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_true_negative(tmp_path, rule_id):
+    spec = FIXTURES[rule_id]
+    result = lint_source(tmp_path, spec["path"], spec["tn"])
+    hits = [f.format() for f in result.findings if f.rule_id == rule_id]
+    assert not hits, f"{rule_id}: TN fixture flagged: {hits}"
+
+
+# ---------------------------------------------------------------------------
+# lockset: closure-callback analysis
+# ---------------------------------------------------------------------------
+
+CLOSURE_TP = """
+    def run(ssd, pages):
+        seen = []
+
+        def on_read(records, page_id):
+            seen.append(page_id)
+
+        for pid in pages:
+            ssd.async_read(pid, on_read, (pid,))
+        return seen
+"""
+
+CLOSURE_TN = """
+    import threading
+
+    def run(ssd, pages):
+        lock = threading.Lock()
+        seen = []
+
+        def on_read(records, page_id):
+            with lock:
+                seen.append(page_id)
+
+        for pid in pages:
+            ssd.async_read(pid, on_read, (pid,))
+        return seen
+"""
+
+
+def test_lockset_flags_unguarded_closure_write(tmp_path):
+    result = lint_source(tmp_path, "repro/core/cl.py", CLOSURE_TP,
+                         rules=[LocksetRule()])
+    assert len(result.findings) == 1
+    assert "'seen'" in result.findings[0].message
+
+
+def test_lockset_accepts_guarded_closure_write(tmp_path):
+    result = lint_source(tmp_path, "repro/core/cl.py", CLOSURE_TN,
+                         rules=[LocksetRule()])
+    assert result.findings == []
+
+
+def test_lockset_catches_injected_race_in_threaded_copy(tmp_path):
+    """A synthetic unguarded shared write in core/threaded.py is caught."""
+    source = (ROOT / "src/repro/core/threaded.py").read_text(encoding="utf-8")
+    anchor_decl = "    issue_lock = threading.Lock()"
+    anchor_write = ("        with issue_lock:  "
+                    "# Algorithm 9's atomic issue of the next request")
+    assert anchor_decl in source and anchor_write in source
+    injected = source.replace(
+        anchor_decl, anchor_decl + "\n    completed_pages = []"
+    ).replace(
+        anchor_write,
+        "        completed_pages.append(page_id)\n" + anchor_write,
+    )
+    result = lint_source(tmp_path, "repro/core/threaded.py", injected,
+                         rules=[LocksetRule()])
+    hits = [f for f in result.findings if f.rule_id == "lockset"]
+    assert len(hits) == 1
+    assert "'completed_pages'" in hits[0].message
+
+
+def test_lockset_ignores_in_threaded_are_load_bearing(tmp_path):
+    """Stripping the justified ignores resurfaces the documented writes."""
+    source = (ROOT / "src/repro/core/threaded.py").read_text(encoding="utf-8")
+    stripped = source.replace("# lint: ignore[lockset]", "#")
+    result = lint_source(tmp_path, "repro/core/threaded.py", stripped,
+                         rules=[LocksetRule()])
+    assert len([f for f in result.findings if f.rule_id == "lockset"]) == 3
+
+
+# ---------------------------------------------------------------------------
+# suppressions
+# ---------------------------------------------------------------------------
+
+def test_suppression_on_same_line(tmp_path):
+    result = lint_source(tmp_path, "repro/core/s.py", """
+        def gather(items=[]):  # lint: ignore[mutable-default] fixture
+            return items
+    """)
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_suppression_on_line_above(tmp_path):
+    result = lint_source(tmp_path, "repro/core/s.py", """
+        # lint: ignore[mutable-default]
+        def gather(items=[]):
+            return items
+    """)
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_suppression_without_rule_list_silences_all(tmp_path):
+    result = lint_source(tmp_path, "repro/core/s.py", """
+        def gather(items=[]):  # lint: ignore
+            return items
+    """)
+    assert result.findings == []
+
+
+def test_suppression_only_silences_named_rule(tmp_path):
+    result = lint_source(tmp_path, "repro/core/s.py", """
+        def gather(items=[]):  # lint: ignore[set-iteration]
+            return items
+    """)
+    assert [f.rule_id for f in result.findings] == ["mutable-default"]
+
+
+def test_unknown_rule_in_suppression_is_reported(tmp_path):
+    result = lint_source(tmp_path, "repro/core/s.py", """
+        x = 1  # lint: ignore[no-such-rule]
+    """)
+    assert [f.rule_id for f in result.findings] == ["bad-suppression"]
+    assert "no-such-rule" in result.findings[0].message
+
+
+def test_directive_inside_string_is_not_a_suppression(tmp_path):
+    result = lint_source(tmp_path, "repro/core/s.py", '''
+        DOC = "use # lint: ignore[mutable-default] to suppress"
+        def gather(items=[]):
+            return items
+    ''')
+    assert [f.rule_id for f in result.findings] == ["mutable-default"]
+
+
+# ---------------------------------------------------------------------------
+# engine: parse errors, determinism, rule selection
+# ---------------------------------------------------------------------------
+
+def test_parse_error_becomes_finding(tmp_path):
+    result = lint_source(tmp_path, "repro/core/broken.py", """
+        def f(:
+    """)
+    assert [f.rule_id for f in result.findings] == ["parse-error"]
+
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(ValueError, match="no-such-rule"):
+        default_rules({"no-such-rule"})
+
+
+def test_findings_sorted_and_repeatable(tmp_path):
+    for name, spec in list(FIXTURES.items())[:4]:
+        target = tmp_path / spec["path"]
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(spec["tp"]), encoding="utf-8")
+    runner = LintRunner(default_rules(), root=tmp_path)
+    first = runner.run([tmp_path])
+    second = runner.run([tmp_path])
+    assert first.findings == second.findings
+    assert first.findings == sorted(first.findings)
+
+
+# ---------------------------------------------------------------------------
+# baseline
+# ---------------------------------------------------------------------------
+
+def test_baseline_absorbs_then_expires(tmp_path):
+    result = lint_source(tmp_path, "repro/core/defaults.py",
+                         FIXTURES["mutable-default"]["tp"])
+    assert result.findings
+    baseline = Baseline.from_findings(result.findings)
+
+    new, baselined, expired = baseline.split(result.findings)
+    assert (new, len(baselined), expired) == ([], len(result.findings), [])
+
+    # Fix the tree: the baseline entry expires (fixed debt must be pruned).
+    new, baselined, expired = baseline.split([])
+    assert new == [] and baselined == []
+    assert len(expired) == 1 and expired[0]["unused"] == 1
+
+
+def test_baseline_round_trips_through_disk(tmp_path):
+    result = lint_source(tmp_path, "repro/core/defaults.py",
+                         FIXTURES["mutable-default"]["tp"])
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(result.findings).save(path)
+    loaded = Baseline.load(path)
+    assert len(loaded) == len(result.findings)
+    assert loaded.split(result.findings)[0] == []
+
+
+def test_baseline_rejects_foreign_json(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text('{"schema": "something/else"}', encoding="utf-8")
+    with pytest.raises(ConfigurationError):
+        Baseline.load(path)
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert len(Baseline.load(tmp_path / "absent.json")) == 0
+
+
+def test_fingerprint_survives_line_shift(tmp_path):
+    spec = FIXTURES["mutable-default"]
+    before = lint_source(tmp_path, spec["path"], spec["tp"])
+    shifted = "# a new leading comment\n\n" + textwrap.dedent(spec["tp"])
+    after = lint_source(tmp_path, spec["path"], shifted)
+    assert before.findings[0].line != after.findings[0].line
+    assert before.findings[0].fingerprint == after.findings[0].fingerprint
+
+
+# ---------------------------------------------------------------------------
+# CLI: exit codes, JSON determinism, the live gate
+# ---------------------------------------------------------------------------
+
+def _cli(args):
+    out = io.StringIO()
+    code = run_lint(args, stdout=out)
+    return code, out.getvalue()
+
+
+def test_cli_exit_one_on_findings(tmp_path):
+    target = tmp_path / "repro/core/defaults.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(textwrap.dedent(FIXTURES["mutable-default"]["tp"]))
+    code, text = _cli([str(tmp_path), "--root", str(tmp_path),
+                       "--baseline", str(tmp_path / "absent.json")])
+    assert code == 1
+    assert "[mutable-default]" in text
+
+
+def test_cli_write_baseline_then_clean_then_expired(tmp_path):
+    target = tmp_path / "repro/core/defaults.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(textwrap.dedent(FIXTURES["mutable-default"]["tp"]))
+    baseline = tmp_path / "baseline.json"
+    argv = [str(tmp_path), "--root", str(tmp_path), "--baseline", str(baseline)]
+
+    assert _cli(argv + ["--write-baseline"])[0] == 0
+    assert _cli(argv)[0] == 0  # baselined findings pass the gate
+
+    target.write_text(textwrap.dedent(FIXTURES["mutable-default"]["tn"]))
+    code, text = _cli(argv)  # fixed debt must be pruned: exit 1
+    assert code == 1 and "expired" in text
+
+
+def test_cli_exit_two_on_unknown_rule(tmp_path):
+    code, _ = _cli([str(tmp_path), "--rules", "no-such-rule"])
+    assert code == 2
+
+
+def test_cli_list_rules():
+    code, text = _cli(["--list-rules"])
+    assert code == 0
+    for cls in ALL_RULES:
+        assert cls.rule_id in text
+
+
+def test_json_output_byte_identical_across_hash_seeds(tmp_path):
+    """Multi-file JSON output is stable even under hash randomization."""
+    for rule_id in ("mutable-default", "error-types", "set-iteration"):
+        spec = FIXTURES[rule_id]
+        target = tmp_path / spec["path"]
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(spec["tp"]), encoding="utf-8")
+
+    def run(seed):
+        env = dict(os.environ, PYTHONHASHSEED=seed,
+                   PYTHONPATH=str(ROOT / "src"))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(tmp_path),
+             "--root", str(tmp_path), "--format", "json",
+             "--baseline", str(tmp_path / "absent.json")],
+            capture_output=True, text=True, env=env, cwd=str(tmp_path),
+        )
+        assert proc.returncode == 1, proc.stderr
+        return proc.stdout
+
+    first, second = run("0"), run("1")
+    assert first == second
+    payload = json.loads(first)
+    assert payload["schema"] == "repro.lint/report"
+    assert len(payload["new"]) >= 3
+
+
+def test_umbrella_cli_lint_subcommand(tmp_path, capsys):
+    from repro.cli import main as repro_main
+
+    code = repro_main(["lint", str(ROOT / "src" / "repro"),
+                       "--root", str(ROOT),
+                       "--baseline", str(tmp_path / "absent.json")])
+    assert code == 0
+    assert "0 new finding(s)" in capsys.readouterr().out
+
+
+def test_repo_tree_lints_clean(tmp_path):
+    """The gate: src/repro has zero new findings with an empty baseline."""
+    code, text = _cli([str(ROOT / "src" / "repro"), "--root", str(ROOT),
+                       "--baseline", str(tmp_path / "absent.json")])
+    assert code == 0, f"lint gate failed:\n{text}"
+    assert "0 new finding(s)" in text

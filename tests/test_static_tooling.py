@@ -1,0 +1,56 @@
+"""Tier-1 gates for the off-the-shelf static tooling (ruff, mypy).
+
+These complement :mod:`repro.lint`: ruff owns generic correctness lints
+(unused imports, undefined names), mypy type-checks the strict islands
+(``sim/``, ``obs/``, ``errors.py``) declared in ``pyproject.toml``, and
+``repro.lint`` owns the project-specific invariants neither can see.
+
+Both tools are optional dependencies — the tests **skip** (not fail)
+when they are not installed, so a minimal container still runs tier-1.
+When present, they run against the committed configuration so a config
+edit that silences everything shows up as a diff, not a surprise.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = [pytest.mark.fast, pytest.mark.lint]
+
+ROOT = Path(__file__).resolve().parents[1]
+
+_HAS_RUFF = shutil.which("ruff") is not None
+_HAS_MYPY = importlib.util.find_spec("mypy") is not None
+
+
+@pytest.mark.skipif(not _HAS_RUFF, reason="ruff is not installed")
+def test_ruff_clean():
+    proc = subprocess.run(
+        ["ruff", "check", "src/repro", "tests", "benchmarks"],
+        capture_output=True, text=True, cwd=str(ROOT),
+    )
+    assert proc.returncode == 0, f"ruff findings:\n{proc.stdout}{proc.stderr}"
+
+
+@pytest.mark.skipif(not _HAS_MYPY, reason="mypy is not installed")
+def test_mypy_strict_islands():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy",
+         "src/repro/sim", "src/repro/obs", "src/repro/errors.py"],
+        capture_output=True, text=True, cwd=str(ROOT),
+    )
+    assert proc.returncode == 0, f"mypy findings:\n{proc.stdout}{proc.stderr}"
+
+
+def test_tooling_config_is_committed():
+    """The [tool.ruff]/[tool.mypy] sections exist even when tools don't."""
+    config = (ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    assert "[tool.ruff]" in config
+    assert "[tool.mypy]" in config
+    assert 'module = ["repro.sim.*", "repro.obs.*", "repro.errors"]' in config
