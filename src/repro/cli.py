@@ -129,19 +129,23 @@ def _cmd_triangulate(args) -> int:
             "method": method,
             "ordering": getattr(args, "ordering", "degree"),
         })
-    traced_methods = ("opt", "opt-vi", "mgt", "opt-threaded")
+    traced_methods = ("opt", "opt-vi", "mgt", "opt-threaded", "opt-parallel")
+    fault_methods = ("opt", "opt-vi", "mgt", "opt-threaded")
     tracer = None
     if args.trace:
         if method not in traced_methods:
-            print("error: --trace applies to the disk-based methods "
-                  "(opt, opt-vi, mgt, opt-threaded) only", file=sys.stderr)
+            print("error: --trace applies to the disk-based and parallel "
+                  "methods (opt, opt-vi, mgt, opt-threaded, opt-parallel) "
+                  "only", file=sys.stderr)
             return 1
         # Disk methods replay on the deterministic simulated clock; the
-        # threaded engine records real thread timelines in wall time.
-        tracer = (EventTracer.wall() if method == "opt-threaded"
+        # threaded and process-parallel engines record real timelines in
+        # wall time.
+        tracer = (EventTracer.wall()
+                  if method in ("opt-threaded", "opt-parallel")
                   else EventTracer.sim())
     fault_plan, retry_policy = _build_fault_plan(args)
-    if fault_plan and method not in traced_methods:
+    if fault_plan and method not in fault_methods:
         print("error: --fault-kind applies to the disk-based methods "
               "(opt, opt-vi, mgt, opt-threaded) only", file=sys.stderr)
         return 1
@@ -194,6 +198,11 @@ def _cmd_triangulate(args) -> int:
                                           fault_plan=fault_plan,
                                           retry_policy=retry_policy,
                                           trace=tracer)
+    elif method == "opt-parallel":
+        from repro.parallel import triangulate_parallel
+
+        result = triangulate_parallel(graph, workers=args.workers,
+                                      report=report, trace=tracer)
     elif method in ("cc-seq", "cc-ds", "graphchi"):
         from repro.core import buffer_pages_for_ratio, make_store as _ms
 
@@ -216,7 +225,8 @@ def _cmd_triangulate(args) -> int:
                   "matrix": matrix_count}[method]
         result = runner(graph)
 
-    elapsed_label = ("elapsed (wall s)" if method == "opt-threaded"
+    elapsed_label = ("elapsed (wall s)"
+                     if method in ("opt-threaded", "opt-parallel")
                      else "elapsed (simulated s)")
     rows = [
         ("triangles", result.triangles),
@@ -514,12 +524,15 @@ def build_parser() -> argparse.ArgumentParser:
     add_input_args(tri)
     tri.add_argument("--method", default="opt",
                      choices=["opt", "opt-vi", "mgt", "opt-threaded",
-                              "cc-seq", "cc-ds",
+                              "opt-parallel", "cc-seq", "cc-ds",
                               "graphchi", "edge-iterator", "vertex-iterator",
                               "forward", "matrix"])
     tri.add_argument("--buffer-ratio", type=float, default=0.15)
     tri.add_argument("--page-size", type=int, default=4096)
     tri.add_argument("--cores", type=int, default=1)
+    tri.add_argument("--workers", type=int, default=2,
+                     help="process count for --method opt-parallel (the "
+                          "shared-memory work-stealing engine)")
     tri.add_argument("--report", default=None, metavar="OUT.json",
                      help="write the run's observability report (RunReport "
                           "JSON: phase spans, counters, overhead_vs_ideal)")
@@ -527,7 +540,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the run's causal event timeline as Chrome "
                           "trace_event JSON (Perfetto-loadable); simulated "
                           "clock for opt/opt-vi/mgt, wall clock for "
-                          "opt-threaded")
+                          "opt-threaded and opt-parallel")
     tri.add_argument("--fault-kind", action="append", default=[],
                      choices=["latency", "transient", "torn"],
                      help="inject seeded storage faults of this kind into the "

@@ -25,6 +25,7 @@ from repro.core.plugins import (
     VertexIteratorPlugin,
 )
 from repro.core.threaded import triangulate_threaded
+from repro.parallel.engine import triangulate_parallel
 
 __all__ = [
     "PLUGINS",
@@ -39,6 +40,7 @@ __all__ = [
     "TriangleStore",
     "read_nested_groups",
     "VertexIteratorPlugin",
+    "triangulate_parallel",
     "triangulate_threaded",
     "buffer_pages_for_ratio",
     "ideal_elapsed",

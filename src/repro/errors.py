@@ -75,3 +75,13 @@ class ConfigurationError(ReproError):
 
 class TriangulationError(ReproError):
     """Raised when a triangulation run cannot proceed."""
+
+
+class ParallelError(TriangulationError):
+    """Raised when the process-parallel engine cannot complete a run.
+
+    Covers worker-process failures (the worker's exception is summarized
+    in the message) and chunk-accounting mismatches during the merge —
+    both mean the merged triangle listing would be incomplete, which must
+    never be returned silently.
+    """

@@ -24,6 +24,7 @@ from repro.lint.rules.lockset import LocksetRule
 from repro.lint.rules.mutable_default import MutableDefaultRule
 from repro.lint.rules.obs_vocab import ObsVocabRule
 from repro.lint.rules.set_iteration import SetIterationRule
+from repro.lint.rules.shm_lifecycle import ShmLifecycleRule
 from repro.lint.rules.sim_purity import SimPurityRule
 
 __all__ = ["ALL_RULES", "default_rules"]
@@ -38,6 +39,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     KwargsThreadingRule,
     MutableDefaultRule,
     SetIterationRule,
+    ShmLifecycleRule,
 )
 
 

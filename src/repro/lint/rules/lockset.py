@@ -9,7 +9,8 @@ approximation in the RacerD tradition, specialized to this codebase's
 two threading idioms:
 
 **Class analysis** — for every class that spawns ``threading.Thread``
-workers: methods reachable from a ``target=self._x`` entry form the
+or ``multiprocessing.Process`` workers: methods reachable from a
+``target=self._x`` entry form the
 *thread side*; every other method (except ``__init__``/``__del__``,
 which run before/after the threads) forms the *main side*.  An instance
 attribute written on **both** sides must have every write lexically
@@ -158,13 +159,40 @@ class _WriteCollector(ast.NodeVisitor):
     visit_Lambda = visit_FunctionDef
 
 
+#: Canonical constructors that start a concurrent worker with a
+#: ``target=`` entry point.  ``multiprocessing.Process`` is included
+#: deliberately: a ``self.*`` write on the process-worker side is doubly
+#: wrong — racy under threads, and under fork it mutates a copy that the
+#: parent never sees.
+_WORKER_FACTORIES = frozenset({
+    "threading.Thread",
+    "multiprocessing.Process",
+    "multiprocessing.context.Process",
+})
+
+
+def _is_worker_spawn(node: ast.Call, imports: ImportTable) -> bool:
+    """True for ``Thread(...)`` / ``Process(...)`` worker constructors.
+
+    ``ctx.Process(...)`` — where ``ctx`` came from
+    ``multiprocessing.get_context()`` — is unresolvable through the
+    import table, so any ``*.Process`` call carrying a ``target=``
+    keyword also counts (documented approximation; the keyword shape
+    keeps false positives out).
+    """
+    name = imports.canonical(dotted_name(node.func))
+    if name in _WORKER_FACTORIES:
+        return True
+    return (name is not None and name.endswith(".Process")
+            and any(kw.arg == "target" for kw in node.keywords))
+
+
 def _thread_entry_methods(cls: ast.ClassDef, imports: ImportTable) -> set[str]:
     entries: set[str] = set()
     for node in ast.walk(cls):
         if not isinstance(node, ast.Call):
             continue
-        name = imports.canonical(dotted_name(node.func))
-        if name != "threading.Thread":
+        if not _is_worker_spawn(node, imports):
             continue
         for keyword in node.keywords:
             if keyword.arg == "target":
@@ -335,7 +363,7 @@ class LocksetRule(Rule):
                     and node.func.attr == "async_read":
                 candidate_args = list(node.args) \
                     + [kw.value for kw in node.keywords]
-            elif imports.canonical(dotted_name(node.func)) == "threading.Thread":
+            elif _is_worker_spawn(node, imports):
                 candidate_args = [kw.value for kw in node.keywords
                                   if kw.arg == "target"]
             for arg in candidate_args:

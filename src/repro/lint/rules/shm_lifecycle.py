@@ -1,0 +1,120 @@
+"""``shm-lifecycle`` — shared-memory segments must not outlive the run.
+
+A POSIX shared-memory segment (``multiprocessing.shared_memory.
+SharedMemory(create=True)``) is a *named system resource*: unlike heap
+allocations it survives the creating process, so an exception between
+creation and cleanup leaks a ``/dev/shm`` entry until reboot.  The
+process-parallel engine publishes the whole CSR graph this way
+(:mod:`repro.parallel.shm`); on large graphs one leaked run can pin
+gigabytes of locked memory.
+
+The rule is a lexical lifecycle check: every ``SharedMemory(create=True)``
+call must sit inside a function that also contains a ``try``/``finally``
+whose ``finally`` block calls **both** ``.close()`` and ``.unlink()``
+(on anything — matching the receiver would need alias analysis; this is
+the documented approximation).  Attach-side calls (no ``create=True``)
+are exempt: attachers only own their local mapping, and the owner's
+``unlink`` is the one that matters.
+
+Factories that *transfer ownership* of a fresh segment to their caller
+cannot satisfy the lexical shape — they return before any ``finally``
+could run — and carry a justified ``# lint: ignore[shm-lifecycle]``
+naming who unlinks, exactly like the barrier annotations of the
+``lockset`` rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import ImportTable, dotted_name
+from repro.lint.engine import ModuleInfo, Rule
+from repro.lint.findings import Finding
+
+__all__ = ["ShmLifecycleRule"]
+
+_FACTORY_SUFFIX = "SharedMemory"
+_CANONICAL = "multiprocessing.shared_memory.SharedMemory"
+
+
+def _is_create_call(node: ast.Call, imports: ImportTable) -> bool:
+    """True for ``SharedMemory(..., create=True, ...)`` constructor calls."""
+    name = imports.canonical(dotted_name(node.func))
+    if name is None:
+        return False
+    if name != _CANONICAL and not name.endswith("." + _FACTORY_SUFFIX) \
+            and name != _FACTORY_SUFFIX:
+        return False
+    for keyword in node.keywords:
+        if keyword.arg == "create":
+            return (isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True)
+    return False
+
+
+def _finally_releases(func: ast.AST) -> bool:
+    """True when some ``finally`` under *func* calls ``.close`` + ``.unlink``.
+
+    Nested function definitions are not descended into: a ``finally``
+    that runs in a different frame cannot clean up this frame's segment.
+    """
+    for node in _walk_same_frame(func):
+        if not isinstance(node, ast.Try) or not node.finalbody:
+            continue
+        called: set[str] = set()
+        for stmt in node.finalbody:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call) \
+                        and isinstance(sub.func, ast.Attribute):
+                    called.add(sub.func.attr)
+        if {"close", "unlink"} <= called:
+            return True
+    return False
+
+
+def _walk_same_frame(root: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that stops at nested function/class boundaries."""
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class ShmLifecycleRule(Rule):
+    rule_id = "shm-lifecycle"
+    severity = "error"
+    description = ("SharedMemory(create=True) needs a try/finally that "
+                   "calls close() and unlink()")
+    paper_invariant = ("shared-CSR publication (process-parallel engine): "
+                       "one leaked segment pins the whole graph in "
+                       "/dev/shm after the run dies")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        imports = ImportTable(module.tree)
+        frames: list[ast.AST] = [module.tree] + [
+            node for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for frame in frames:
+            creates = [
+                node for node in _walk_same_frame(frame)
+                if isinstance(node, ast.Call)
+                and _is_create_call(node, imports)
+            ]
+            if not creates or _finally_releases(frame):
+                continue
+            where = getattr(frame, "name", "<module>")
+            for node in creates:
+                yield self.finding(
+                    module, node,
+                    f"{where!r} creates a shared-memory segment but has no "
+                    f"try/finally calling close() and unlink(); a failure "
+                    f"here leaks the segment in /dev/shm (annotate with "
+                    f"the ownership argument if cleanup provably happens "
+                    f"elsewhere)",
+                )

@@ -1,26 +1,22 @@
-"""Process-parallel in-memory triangulation.
+"""Process-parallel in-memory triangulation (compatibility facade).
 
-The paper parallelizes the intersection loops with OpenMP; CPython's GIL
-rules that out for threads, so the real-parallel in-memory path uses
-*processes*: the vertex range is split into contiguous stripes and each
-worker runs EdgeIterator≻ over its stripe (every stripe lists a disjoint
-set of triangles because each triangle belongs to its minimum vertex's
-stripe).  On a single-core machine this adds only overhead — the
-simulated engine is the right tool for speed-up *curves* — but the
-implementation demonstrates the decomposition is embarrassingly parallel
-and it is validated against the serial result.
+The real engine lives in :mod:`repro.parallel`: shared-memory CSR
+publication, a degree-balanced work queue with stealing, and obs-pipeline
+merging.  This module keeps the original, narrower API stable —
+:func:`stripe_bounds` for callers that want one contiguous range per
+worker, and :func:`parallel_edge_iterator` for count-and-ops runs — and
+delegates execution to :func:`repro.parallel.triangulate_parallel`.
+
+Every stripe/chunk lists a disjoint triangle set because each triangle
+belongs to its minimum vertex's range, so counts merge by plain addition.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
-
-import numpy as np
-
-from repro.errors import ConfigurationError
 from repro.graph.graph import Graph
 from repro.memory.base import TriangulationResult
-from repro.util.intersect import intersect_count_ops, intersect_sorted
+from repro.parallel.chunks import plan_chunks
+from repro.parallel.engine import triangulate_parallel
 
 __all__ = ["parallel_edge_iterator", "stripe_bounds"]
 
@@ -28,65 +24,31 @@ __all__ = ["parallel_edge_iterator", "stripe_bounds"]
 def stripe_bounds(graph: Graph, workers: int) -> list[tuple[int, int]]:
     """Split the vertex range into *workers* stripes of ~equal edge work.
 
-    Balancing by successor-list mass (the intersection driver count)
-    rather than by vertex count keeps stripes comparable on power-law
-    graphs.
+    One stripe per worker — the static schedule the original thread
+    pool used.  The work-queue engine plans finer chunks
+    (:func:`repro.parallel.chunks.plan_chunks` with oversubscription);
+    this remains for callers that want a fixed partition, and it is the
+    same successor-mass balancing either way.
     """
-    if workers < 1:
-        raise ConfigurationError("workers must be >= 1")
-    # Work proxy: each vertex drives |n_succ| intersections.
-    succ_mass = np.array(
-        [len(graph.n_succ(u)) for u in range(graph.num_vertices)],
-        dtype=np.float64,
-    )
-    total = succ_mass.sum()
-    if total == 0 or workers == 1:
-        return [(0, graph.num_vertices)]
-    cumulative = np.cumsum(succ_mass)
-    bounds = [0]
-    for stripe in range(1, workers):
-        target = total * stripe / workers
-        bounds.append(int(np.searchsorted(cumulative, target)))
-    bounds.append(graph.num_vertices)
-    # De-duplicate possible empty stripes.
-    return [
-        (lo, hi)
-        for lo, hi in zip(bounds, bounds[1:])
-        if hi > lo
-    ] or [(0, graph.num_vertices)]
-
-
-def _count_stripe(args) -> tuple[int, int]:
-    indptr, indices, lo, hi = args
-    graph = Graph(indptr, indices, validate=False)
-    triangles = 0
-    ops = 0
-    for u in range(lo, hi):
-        succ_u = graph.n_succ(u)
-        for v in succ_u:
-            succ_v = graph.n_succ(int(v))
-            ops += intersect_count_ops(len(succ_u), len(succ_v))
-            triangles += len(intersect_sorted(succ_u, succ_v))
-    return triangles, ops
+    return plan_chunks(graph, workers)
 
 
 def parallel_edge_iterator(graph: Graph, workers: int = 2) -> TriangulationResult:
-    """Count triangles with *workers* processes (EdgeIterator≻ stripes)."""
-    stripes = stripe_bounds(graph, workers)
-    payload = [(graph.indptr, graph.indices, lo, hi) for lo, hi in stripes]
-    if len(payload) == 1:
-        results = [_count_stripe(payload[0])]
-    else:
-        # Fork (not spawn): workers inherit the parent image directly, so
-        # no __main__ re-import is needed — this keeps the API usable from
-        # interactive sessions and keeps the data transfer to the stripes'
-        # arguments only.
-        with mp.get_context("fork").Pool(processes=len(payload)) as pool:
-            results = pool.map(_count_stripe, payload)
-    triangles = sum(t for t, _ in results)
-    ops = sum(o for _, o in results)
+    """Count triangles with *workers* processes (EdgeIterator≻ chunks).
+
+    Thin wrapper over :func:`repro.parallel.triangulate_parallel` that
+    preserves the historical result shape: ``extra["stripes"]`` holds the
+    executed vertex ranges, ``extra["workers"]`` the effective worker
+    count.
+    """
+    result = triangulate_parallel(graph, workers=workers)
     return TriangulationResult(
-        triangles=triangles,
-        cpu_ops=ops,
-        extra={"stripes": stripes, "workers": len(payload)},
+        triangles=result.triangles,
+        cpu_ops=result.cpu_ops,
+        elapsed=result.elapsed,
+        extra={
+            "stripes": result.extra["chunks"],
+            "workers": result.extra["workers"],
+            "steals": result.extra["steals"],
+        },
     )

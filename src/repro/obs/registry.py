@@ -36,6 +36,19 @@ def _format_key(name: str, labels: LabelKey) -> str:
     return f"{name}{{{inner}}}"
 
 
+def _parse_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`_format_key`: ``"a{k=v,l=w}"`` → ``("a", {...})``."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key[:-1].partition("{")
+    labels: dict[str, str] = {}
+    for pair in inner.split(","):
+        if pair:
+            label, _, value = pair.partition("=")
+            labels[label] = value
+    return name, labels
+
+
 class _Instrument:
     """Common identity of every metric: name, labels, shared lock."""
 
@@ -252,6 +265,23 @@ class MetricsRegistry:
                 histograms[metric.key] = metric.summary()
         return {"counters": counters, "gauges": gauges,
                 "histograms": histograms}
+
+    def merge_snapshot(self, snapshot: Mapping) -> None:
+        """Fold a serialized :meth:`snapshot` into this registry.
+
+        The process-parallel engine ships worker metrics across process
+        boundaries as plain snapshot dicts (a live registry holds a
+        lock, which does not pickle).  Counters add, gauges take the
+        snapshot's value; histogram *summaries* are lossy and therefore
+        not merged — workers that need mergeable distributions must ship
+        raw observations instead.
+        """
+        for key, value in snapshot.get("counters", {}).items():
+            name, labels = _parse_key(key)
+            self.counter(name, **labels).inc(int(value))
+        for key, value in snapshot.get("gauges", {}).items():
+            name, labels = _parse_key(key)
+            self.gauge(name, **labels).set(float(value))
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold *other*'s counters and gauges into this registry.

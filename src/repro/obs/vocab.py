@@ -89,6 +89,11 @@ METRIC_NAMES = frozenset({
     "sim.cpu_time",
     "sim.read_io_time",
     "sim.fault_delay",
+    # process-parallel engine (repro.parallel)
+    "parallel.ops",
+    "parallel.chunks",
+    "parallel.steals",
+    "parallel.workers",
     # run headline figures
     "run.elapsed_wall",
     "run.elapsed_simulated",
@@ -114,13 +119,17 @@ TRACE_EVENT_NAMES = frozenset({
     "fault.delay",
     "recovery.timeout",
     "recovery.fallback",
+    "parallel.chunk",
+    "parallel.steal",
+    "parallel.merge",
 })
 
 #: Event names that represent actual work for utilization purposes
 #: (``iteration`` is structural — it brackets its children and would
 #: double-count every lane it appears on).
 WORK_EVENTS = frozenset(
-    {"fill", "internal", "external", "read.service", "read.callback"}
+    {"fill", "internal", "external", "read.service", "read.callback",
+     "parallel.chunk"}
 )
 
 #: Event names whose intervals count as *external* CPU (micro overlap).

@@ -1,0 +1,395 @@
+"""The process-parallel triangulation engine.
+
+Execution model (the process-pool analogue of thread morphing,
+Section 3.4 of the paper):
+
+1. the parent publishes the CSR graph into shared memory once
+   (:class:`repro.parallel.shm.SharedCSR`) and plans degree-balanced
+   vertex chunks (:func:`repro.parallel.chunks.plan_chunks`), finer than
+   the worker count;
+2. chunks go onto one work queue; every forked worker attaches the
+   shared CSR zero-copy and pulls chunks until it drains the queue.  The
+   round-robin "fair share" of chunk ``i`` is worker ``i % workers`` — a
+   worker executing someone else's chunk is the *steal* that morphing
+   performs with threads;
+3. each worker runs the EdgeIterator≻ kernel (:func:`count_chunk`) per
+   chunk and accumulates its own :class:`MetricsRegistry` counters and
+   :class:`EventTracer` slices on a private ``parallel/w<id>`` track;
+4. the parent merges: triangle groups re-emitted to the caller's sink in
+   chunk order (so output is identical for every worker count), worker
+   metric snapshots folded into the run report's registry, worker trace
+   events translated onto the caller's tracer timeline.
+
+Determinism contract: the chunk plan, per-chunk triangle groups, and all
+op counts depend only on the graph — never on scheduling.  Only
+``parallel.steals`` and the wall-clock figures are scheduling-dependent,
+and the determinism tests compare snapshots with exactly those excluded.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ParallelError
+from repro.graph.graph import Graph
+from repro.memory.base import CountSink, TriangleSink, TriangulationResult
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import RunReport
+from repro.obs.trace import EventTracer, TraceEvent
+from repro.parallel.chunks import default_chunk_count, plan_chunks
+from repro.parallel.shm import SharedCSR
+from repro.util.intersect import intersect_count_ops, intersect_sorted
+
+__all__ = [
+    "ParallelResult",
+    "WorkerReport",
+    "count_chunk",
+    "triangulate_parallel",
+]
+
+#: One emitted triangle group: ``(u, v, (w, ...))``.
+Group = tuple[int, int, tuple[int, ...]]
+
+
+def count_chunk(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    lo: int,
+    hi: int,
+    collect: bool = False,
+) -> tuple[int, int, list[Group]]:
+    """EdgeIterator≻ over the vertex range ``[lo, hi)``.
+
+    Returns ``(triangles, ops, groups)``; *groups* is empty unless
+    *collect*.  Charges exactly the probes the serial
+    :func:`repro.memory.edge_iterator.edge_iterator` charges for the
+    same vertices (Eq. 3), so summing chunk ops over any partition of
+    ``[0, n)`` reproduces the serial total — the conservation property
+    tested in ``tests/test_sim_properties.py``.
+    """
+    graph = Graph(indptr, indices, validate=False)
+    triangles = 0
+    ops = 0
+    groups: list[Group] = []
+    for u in range(lo, hi):
+        succ_u = graph.n_succ(u)
+        if len(succ_u) == 0:
+            continue
+        for v in succ_u:
+            v = int(v)
+            succ_v = graph.n_succ(v)
+            ops += intersect_count_ops(len(succ_u), len(succ_v))
+            common = intersect_sorted(succ_u, succ_v)
+            if len(common):
+                triangles += len(common)
+                if collect:
+                    groups.append((u, v, tuple(int(w) for w in common)))
+    return triangles, ops, groups
+
+
+@dataclass
+class WorkerReport:
+    """Everything one worker ships back over the result queue.
+
+    Plain data only — this crosses a process boundary by pickle.
+    """
+
+    worker_id: int
+    #: ``(chunk_index, lo, hi, triangles, ops, groups)`` per executed chunk.
+    results: list[tuple[int, int, int, int, int, list[Group]]] = field(
+        default_factory=list
+    )
+    snapshot: dict = field(default_factory=dict)
+    events: list[TraceEvent] = field(default_factory=list)
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class ParallelResult:
+    """Merged view of a parallel run, for introspection and tests."""
+
+    workers: int
+    chunk_bounds: tuple[tuple[int, int], ...]
+    #: ``chunk_index -> worker_id`` that actually executed it.
+    executed_by: tuple[int, ...]
+    steals: int
+    worker_reports: tuple[WorkerReport, ...]
+
+
+def _execute_chunks(
+    graph: Graph,
+    tasks: Iterable[tuple[int, int, int]],
+    worker_id: int,
+    num_workers: int,
+    collect: bool,
+    anchor: float,
+) -> WorkerReport:
+    """Run *tasks* (``(index, lo, hi)``) and record obs locally.
+
+    Shared by the in-process ``workers=1`` path and the forked worker
+    loop; timestamps are seconds since *anchor* (a parent-side
+    ``perf_counter`` reading), so merged events land on the caller's
+    timeline without clock negotiation — ``perf_counter`` is one
+    system-wide monotonic clock on Linux.
+    """
+    registry = MetricsRegistry()
+    tracer = EventTracer(clock="wall")
+    chunks_counter = registry.counter("parallel.chunks")
+    ops_counter = registry.counter("parallel.ops")
+    steals_counter = registry.counter("parallel.steals")
+    triangles_counter = registry.counter("triangles", phase="parallel")
+    track = f"parallel/w{worker_id}"
+    report = WorkerReport(worker_id=worker_id)
+    for index, lo, hi in tasks:
+        start = time.perf_counter() - anchor
+        triangles, ops, groups = count_chunk(
+            graph.indptr, graph.indices, lo, hi, collect
+        )
+        end = time.perf_counter() - anchor
+        chunks_counter.inc()
+        ops_counter.inc(ops)
+        triangles_counter.inc(triangles)
+        owner = index % num_workers
+        if owner != worker_id:
+            steals_counter.inc()
+            tracer.instant("parallel.steal", ts=end, track=track,
+                           chunk=index, owner=owner)
+        tracer.complete("parallel.chunk", start, end - start, track=track,
+                        chunk=index, lo=lo, hi=hi,
+                        triangles=triangles, ops=ops)
+        report.results.append((index, lo, hi, triangles, ops, groups))
+    report.snapshot = registry.snapshot()
+    report.events = tracer.events()
+    return report
+
+
+def _drain_queue(task_queue) -> Iterator[tuple[int, int, int]]:
+    """Yield tasks from *task_queue* until the ``None`` sentinel."""
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        yield item
+
+
+def _worker_main(handle, num_workers: int, worker_id: int, collect: bool,
+                 anchor: float, task_queue, result_queue) -> None:
+    """Forked worker entry: attach, drain the queue, ship one report."""
+    shared = SharedCSR.attach(handle)
+    graph = None
+    try:
+        graph = shared.graph()
+        report = _execute_chunks(
+            graph, _drain_queue(task_queue), worker_id, num_workers,
+            collect, anchor,
+        )
+    # Worker boundary: ANY failure (including KeyboardInterrupt /
+    # SystemExit) must reach the parent as an error report, or the
+    # parent's result_queue.get() blocks forever.
+    # lint: ignore[error-types] worker-to-parent error funnel
+    except BaseException as exc:
+        report = WorkerReport(worker_id=worker_id,
+                              error=f"{type(exc).__name__}: {exc}")
+    finally:
+        # The Graph wraps the shared buffers; its views must die before
+        # close() or the mmap refuses to unmap ("exported pointers exist").
+        graph = None
+        shared.close()
+    result_queue.put(report)
+
+
+def _merge(
+    reports: Sequence[WorkerReport],
+    chunk_bounds: Sequence[tuple[int, int]],
+    workers: int,
+    sink: TriangleSink,
+    collect: bool,
+    run_report: RunReport | None,
+    trace: EventTracer | None,
+    anchor_rel: float,
+) -> tuple[int, int, ParallelResult]:
+    """Fold worker reports into (triangles, ops) + obs, deterministically."""
+    failures = sorted(
+        (report.worker_id, report.error)
+        for report in reports if report.error
+    )
+    if failures:
+        detail = "; ".join(f"w{wid}: {err}" for wid, err in failures)
+        raise ParallelError(f"{len(failures)} worker(s) failed: {detail}")
+
+    merge_started = trace.now() if trace is not None else 0.0
+    executed_by: dict[int, int] = {}
+    rows: list[tuple[int, int, int, int, int, list[Group]]] = []
+    for report in sorted(reports, key=lambda r: r.worker_id):
+        for row in report.results:
+            executed_by[row[0]] = report.worker_id
+            rows.append(row)
+    rows.sort(key=lambda row: row[0])
+    if len(rows) != len(chunk_bounds):
+        raise ParallelError(
+            f"chunk accounting mismatch: planned {len(chunk_bounds)}, "
+            f"executed {len(rows)}"
+        )
+    triangles = sum(row[3] for row in rows)
+    ops = sum(row[4] for row in rows)
+    if collect:
+        # Chunk-index order == vertex order: the emission sequence is a
+        # pure function of the graph, whatever the workers did.
+        for _, _, _, _, _, groups in rows:
+            for u, v, ws in groups:
+                sink.emit(u, v, ws)
+
+    steals = 0
+    for report in reports:
+        steals += int(report.snapshot.get("counters", {})
+                      .get("parallel.steals", 0))
+        if run_report is not None:
+            run_report.registry.merge_snapshot(report.snapshot)
+        if trace is not None:
+            for event in report.events:
+                if event.dur is None:
+                    trace.instant(event.name, ts=anchor_rel + event.ts,
+                                  track=event.track, **event.args)
+                else:
+                    trace.complete(event.name, anchor_rel + event.ts,
+                                   event.dur, track=event.track,
+                                   **event.args)
+    if trace is not None:
+        trace.complete("parallel.merge", merge_started,
+                       trace.now() - merge_started,
+                       workers=workers, chunks=len(chunk_bounds))
+    parallel_result = ParallelResult(
+        workers=workers,
+        chunk_bounds=tuple(chunk_bounds),
+        executed_by=tuple(
+            executed_by[index] for index in range(len(chunk_bounds))
+        ),
+        steals=steals,
+        worker_reports=tuple(sorted(reports, key=lambda r: r.worker_id)),
+    )
+    return triangles, ops, parallel_result
+
+
+def triangulate_parallel(
+    graph: Graph,
+    *,
+    workers: int = 2,
+    chunks: int | None = None,
+    sink: TriangleSink | None = None,
+    report: RunReport | None = None,
+    trace: EventTracer | None = None,
+) -> TriangulationResult:
+    """List all triangles of *graph* with *workers* processes.
+
+    Parameters
+    ----------
+    graph:
+        The input graph; published once into shared memory, never
+        pickled per worker.
+    workers:
+        Process count.  ``1`` runs the identical chunked pipeline
+        in-process (no fork, no shared memory) — the reference point the
+        differential tests compare higher worker counts against.
+    chunks:
+        Work-queue chunk count; defaults to
+        :func:`repro.parallel.chunks.default_chunk_count` (4x
+        oversubscription so idle workers have something to steal).
+    sink:
+        Optional receiver of nested ``<u, v, {w...}>`` groups, emitted
+        in deterministic chunk order; defaults to a counting sink.
+    report:
+        Optional :class:`RunReport`; worker metric snapshots are folded
+        into its registry (``parallel.*`` counters, per-phase
+        ``triangles``) plus the parent-side ``parallel.workers`` and
+        ``run.elapsed_wall`` gauges.
+    trace:
+        Optional wall-clock :class:`EventTracer`; worker slices land on
+        one ``parallel/w<id>`` track per worker.
+
+    Returns the usual :class:`TriangulationResult`; ``extra["parallel"]``
+    carries the merged :class:`ParallelResult`.
+    """
+    if workers < 1:
+        raise ConfigurationError("workers must be >= 1")
+    if trace is not None and not trace.enabled:
+        trace = None
+    if trace is not None and trace.clock != "wall":
+        raise ConfigurationError(
+            "triangulate_parallel records wall-clock events; pass a "
+            "clock='wall' tracer"
+        )
+    collect = sink is not None
+    if sink is None:
+        sink = CountSink()
+    if chunks is None:
+        chunks = default_chunk_count(graph, workers)
+    chunk_bounds = plan_chunks(graph, chunks)
+    tasks = [(index, lo, hi)
+             for index, (lo, hi) in enumerate(chunk_bounds)]
+
+    start_wall = time.perf_counter()
+    anchor_rel = trace.now() if trace is not None else 0.0
+
+    if workers == 1 or len(tasks) == 1:
+        effective_workers = 1
+        worker_reports = [
+            _execute_chunks(graph, tasks, 0, 1, collect, start_wall)
+        ]
+    else:
+        effective_workers = min(workers, len(tasks))
+        shared = SharedCSR.publish(graph)
+        try:
+            ctx = mp.get_context("fork")
+            task_queue = ctx.Queue()
+            result_queue = ctx.Queue()
+            for task in tasks:
+                task_queue.put(task)
+            for _ in range(effective_workers):
+                task_queue.put(None)
+            processes = [
+                ctx.Process(
+                    target=_worker_main,
+                    args=(shared.handle, effective_workers, worker_id,
+                          collect, start_wall, task_queue, result_queue),
+                    name=f"parallel-w{worker_id}",
+                )
+                for worker_id in range(effective_workers)
+            ]
+            for process in processes:
+                process.start()
+            # Drain results *before* join: a worker blocks in put() until
+            # the parent reads, so the reverse order deadlocks on big
+            # payloads.
+            worker_reports = [result_queue.get() for _ in processes]
+            for process in processes:
+                process.join()
+        finally:
+            shared.close()
+            shared.unlink()
+
+    triangles, ops, parallel_result = _merge(
+        worker_reports, chunk_bounds, effective_workers, sink, collect,
+        report, trace, anchor_rel,
+    )
+    elapsed = time.perf_counter() - start_wall
+    extra = {
+        "workers": effective_workers,
+        "chunks": list(chunk_bounds),
+        "steals": parallel_result.steals,
+        "parallel": parallel_result,
+    }
+    if report is not None:
+        report.gauge("parallel.workers").set(effective_workers)
+        report.gauge("run.elapsed_wall").set(elapsed)
+        extra["report"] = report
+    return TriangulationResult(
+        triangles=triangles,
+        cpu_ops=ops,
+        elapsed=elapsed,
+        extra=extra,
+    )

@@ -22,6 +22,7 @@ from repro.memory import (
     matrix_count,
     vertex_iterator,
 )
+from repro.parallel import triangulate_parallel
 from repro.sim import DEFAULT_COST_MODEL, CostModel
 from repro.storage.page import DEFAULT_PAGE_SIZE
 
@@ -67,6 +68,9 @@ def verify_methods(
     report.counts["forward"] = forward(graph).triangles
     report.counts["compact-forward"] = compact_forward(graph).triangles
     report.counts["matrix"] = matrix_count(graph).triangles
+    report.counts["opt-parallel:w2"] = triangulate_parallel(
+        graph, workers=2
+    ).triangles
 
     store = make_store(graph, page_size)
     for plugin in ("edge-iterator", "vertex-iterator", "mgt"):

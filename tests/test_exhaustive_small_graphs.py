@@ -23,22 +23,28 @@ from repro.memory import (
     matrix_count,
     vertex_iterator,
 )
+from repro.parallel import triangulate_parallel
 
 VERTICES = 5
 ALL_EDGES = list(combinations(range(VERTICES), 2))  # 10 possible edges
 
 
-def brute_force_triangles(edge_set: frozenset) -> int:
+def possible_edges(vertices: int) -> list[tuple[int, int]]:
+    return list(combinations(range(vertices), 2))
+
+
+def brute_force_triangles(edge_set: frozenset, vertices: int = VERTICES) -> int:
     count = 0
-    for a, b, c in combinations(range(VERTICES), 3):
+    for a, b, c in combinations(range(vertices), 3):
         if ({(a, b), (a, c), (b, c)} <= edge_set):
             count += 1
     return count
 
 
-def graph_of(mask: int):
-    edges = [edge for bit, edge in enumerate(ALL_EDGES) if mask >> bit & 1]
-    return from_edges(edges, num_vertices=VERTICES), frozenset(edges)
+def graph_of(mask: int, vertices: int = VERTICES):
+    universe = possible_edges(vertices)
+    edges = [edge for bit, edge in enumerate(universe) if mask >> bit & 1]
+    return from_edges(edges, num_vertices=vertices), frozenset(edges)
 
 
 class TestExhaustive:
@@ -86,3 +92,37 @@ class TestExhaustive:
                 )
             )
             assert count_cliques(graph, 4).triangles == expected, mask
+
+
+class TestExhaustiveParallel:
+    """The process-parallel engine over every graph on up to 6 vertices.
+
+    ``workers=1`` takes the inline path (no fork), so the full 2^15
+    sweep on 6 vertices stays cheap while covering every chunk-plan
+    boundary the planner can produce at this scale.  Real forked
+    workers are exercised on a deterministic stride — process spawn
+    costs ~10ms each, so exhaustive forking would dominate the suite.
+    """
+
+    @pytest.mark.parametrize("vertices", [5, 6])
+    def test_all_graphs_inline(self, vertices):
+        universe = possible_edges(vertices)
+        for mask in range(1 << len(universe)):
+            graph, edge_set = graph_of(mask, vertices)
+            expected = brute_force_triangles(edge_set, vertices)
+            result = triangulate_parallel(graph, workers=1)
+            assert result.triangles == expected, (vertices, mask)
+
+    @pytest.mark.parametrize("vertices", [5, 6])
+    def test_forked_workers_sample(self, vertices):
+        """Every 512th graph through real processes and shared memory."""
+        universe = possible_edges(vertices)
+        span = 1 << len(universe)
+        masks = list(range(0, span, 512)) + [span - 1]
+        for mask in masks:
+            graph, edge_set = graph_of(mask, vertices)
+            expected = brute_force_triangles(edge_set, vertices)
+            serial = edge_iterator(graph)
+            result = triangulate_parallel(graph, workers=2)
+            assert result.triangles == expected, (vertices, mask)
+            assert result.cpu_ops == serial.cpu_ops, (vertices, mask)

@@ -181,6 +181,31 @@ FIXTURES = {
                     report.counter(key).inc()
         """,
     },
+    "shm-lifecycle": {
+        "path": "repro/parallel/seg.py",
+        "tp": """
+            from multiprocessing import shared_memory
+
+            def publish(payload):
+                segment = shared_memory.SharedMemory(create=True,
+                                                     size=len(payload))
+                segment.buf[:len(payload)] = payload
+                return segment.name
+        """,
+        "tn": """
+            from multiprocessing import shared_memory
+
+            def roundtrip(payload):
+                segment = shared_memory.SharedMemory(create=True,
+                                                     size=len(payload))
+                try:
+                    segment.buf[:len(payload)] = payload
+                    return bytes(segment.buf[:len(payload)])
+                finally:
+                    segment.close()
+                    segment.unlink()
+        """,
+    },
 }
 
 
@@ -291,6 +316,115 @@ def test_lockset_ignores_in_threaded_are_load_bearing(tmp_path):
     result = lint_source(tmp_path, "repro/core/threaded.py", stripped,
                          rules=[LocksetRule()])
     assert len([f for f in result.findings if f.rule_id == "lockset"]) == 3
+
+
+# ---------------------------------------------------------------------------
+# lockset: process-worker closures (the parallel engine's spawn idiom)
+# ---------------------------------------------------------------------------
+
+PROCESS_CLOSURE_TP = """
+    import multiprocessing as mp
+
+    def run(chunks):
+        done = []
+
+        def worker(chunk):
+            done.append(chunk)
+
+        ctx = mp.get_context("fork")
+        procs = [ctx.Process(target=worker, args=(c,)) for c in chunks]
+        for p in procs:
+            p.start()
+        return done
+"""
+
+PROCESS_CLOSURE_TN = """
+    import multiprocessing as mp
+    import threading
+
+    def run(chunks):
+        lock = threading.Lock()
+        done = []
+
+        def worker(chunk):
+            with lock:
+                done.append(chunk)
+
+        procs = [mp.Process(target=worker, args=(c,)) for c in chunks]
+        for p in procs:
+            p.start()
+        return done
+"""
+
+
+def test_lockset_flags_process_worker_closure_write(tmp_path):
+    """ctx.Process(target=...) closures get the same analysis as threads.
+
+    Doubly wrong for processes: racy as written, and under fork the
+    child's append mutates a copy the parent never observes.
+    """
+    result = lint_source(tmp_path, "repro/parallel/cl.py", PROCESS_CLOSURE_TP,
+                         rules=[LocksetRule()])
+    hits = [f for f in result.findings if f.rule_id == "lockset"]
+    assert len(hits) == 1
+    assert "'done'" in hits[0].message
+
+
+def test_lockset_accepts_guarded_process_closure_write(tmp_path):
+    result = lint_source(tmp_path, "repro/parallel/cl.py", PROCESS_CLOSURE_TN,
+                         rules=[LocksetRule()])
+    assert result.findings == []
+
+
+def test_lockset_flags_process_entry_methods(tmp_path):
+    """Class analysis treats mp.Process targets as a worker side."""
+    result = lint_source(tmp_path, "repro/parallel/pool.py", """
+        import multiprocessing as mp
+
+        class Pool:
+            def __init__(self):
+                self._lock = mp.Lock()
+                self._done = []
+                self._proc = mp.Process(target=self._loop)
+
+            def _loop(self):
+                self._done.append(1)
+
+            def collect(self):
+                self._done.append(2)
+    """, rules=[LocksetRule()])
+    hits = [f for f in result.findings if f.rule_id == "lockset"]
+    assert len(hits) == 2  # both unguarded sides
+
+
+# ---------------------------------------------------------------------------
+# shm-lifecycle: the parallel engine's justified ignore is load-bearing
+# ---------------------------------------------------------------------------
+
+def test_shm_ignore_in_parallel_shm_is_load_bearing(tmp_path):
+    """Stripping the ownership-transfer ignore resurfaces the factory."""
+    from repro.lint.rules.shm_lifecycle import ShmLifecycleRule
+
+    source = (ROOT / "src/repro/parallel/shm.py").read_text(encoding="utf-8")
+    stripped = source.replace("# lint: ignore[shm-lifecycle]", "#")
+    result = lint_source(tmp_path, "repro/parallel/shm.py", stripped,
+                         rules=[ShmLifecycleRule()])
+    hits = [f for f in result.findings if f.rule_id == "shm-lifecycle"]
+    assert len(hits) == 1
+
+
+def test_shm_rule_skips_attach_only_calls(tmp_path):
+    """Attachers (no create=True) only close; the owner unlinks."""
+    from repro.lint.rules.shm_lifecycle import ShmLifecycleRule
+
+    result = lint_source(tmp_path, "repro/parallel/att.py", """
+        from multiprocessing import shared_memory
+
+        def attach(name):
+            segment = shared_memory.SharedMemory(name=name)
+            return bytes(segment.buf[:8])
+    """, rules=[ShmLifecycleRule()])
+    assert result.findings == []
 
 
 # ---------------------------------------------------------------------------

@@ -38,6 +38,35 @@ def test_committed_bench_reports_are_valid(checker):
     assert not failures, f"BENCH_*.json schema drift: {failures}"
 
 
+#: Baselines the parallel-engine benchmarks must keep seeded so
+#: ``compare_reports.py`` always has something to diff against.
+PARALLEL_BASELINES = ("BENCH_fig6_speedup.json", "BENCH_table4_cores.json")
+
+
+@pytest.fixture(scope="module")
+def comparer():
+    spec = importlib.util.spec_from_file_location(
+        "compare_reports", BENCHMARKS_DIR / "compare_reports.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", PARALLEL_BASELINES)
+def test_parallel_baselines_are_seeded(checker, comparer, name):
+    """The committed parallel baselines validate and diff cleanly."""
+    path = BENCHMARKS_DIR / "results" / name
+    assert path.exists(), f"missing committed baseline {name}"
+    assert checker.validate_file(path) == []
+    payload = comparer.load_report(path)
+    headline = comparer.headline_elapsed(payload)
+    assert headline is not None, f"{name}: no headline elapsed metric"
+    assert headline[0] == "run.elapsed_wall"
+    row = comparer.compare_payloads(payload, payload)
+    assert row["status"] == "ok" and row["ratio"] == 1.0
+
+
 def test_fresh_report_passes_the_checker(checker, tmp_path):
     report = RunReport("fresh")
     report.counter("ssd.pages_read").inc(3)

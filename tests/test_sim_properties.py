@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+from itertools import combinations
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.graph.builder import from_edges
+from repro.memory import edge_iterator
+from repro.parallel import count_chunk, plan_chunks
 from repro.sim import CostModel, ExternalRead, IterationTrace, RunTrace, simulate
 
 cost = CostModel(page_read_time=100e-6, op_time=1e-6, channels=2,
@@ -185,3 +190,60 @@ class TestFaultLatencyInvariants:
     def test_clean_trace_has_zero_fault_delay(self, trace):
         assert _without_delays(trace).total_fault_delay == 0.0
         assert trace.total_fault_delay >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# Eq. 3 op conservation under vertex-range chunking
+# ---------------------------------------------------------------------------
+
+MAX_CHUNK_VERTICES = 8
+_CHUNK_EDGE_UNIVERSE = list(combinations(range(MAX_CHUNK_VERTICES), 2))
+
+small_graph_strategy = st.builds(
+    lambda mask: from_edges(
+        [e for bit, e in enumerate(_CHUNK_EDGE_UNIVERSE) if mask >> bit & 1],
+        num_vertices=MAX_CHUNK_VERTICES,
+    ),
+    st.integers(0, (1 << len(_CHUNK_EDGE_UNIVERSE)) - 1),
+)
+
+
+def _bounds_from_cuts(cuts: list[int], num_vertices: int):
+    """Arbitrary cut points → a disjoint cover of [0, num_vertices)."""
+    points = sorted({c % (num_vertices + 1) for c in cuts} | {0, num_vertices})
+    return [(lo, hi) for lo, hi in zip(points, points[1:]) if lo < hi]
+
+
+class TestChunkOpConservation:
+    """Chunked intersection-op totals equal the serial engine's (Eq. 3).
+
+    The parallel merge can only report faithful costs if the per-chunk
+    op accounting partitions the serial total exactly — no op counted
+    twice across a chunk boundary, none dropped.
+    """
+
+    @given(small_graph_strategy,
+           st.lists(st.integers(0, MAX_CHUNK_VERTICES), max_size=6))
+    @settings(max_examples=80, deadline=None)
+    def test_arbitrary_partitions_conserve_ops(self, graph, cuts):
+        serial = edge_iterator(graph)
+        bounds = _bounds_from_cuts(cuts, graph.num_vertices)
+        total_ops = 0
+        total_triangles = 0
+        for lo, hi in bounds:
+            triangles, ops, _ = count_chunk(graph.indptr, graph.indices,
+                                            lo, hi)
+            total_ops += ops
+            total_triangles += triangles
+        assert total_ops == serial.cpu_ops
+        assert total_triangles == serial.triangles
+
+    @given(small_graph_strategy, st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_planner_partitions_conserve_ops(self, graph, chunks):
+        serial = edge_iterator(graph)
+        bounds = plan_chunks(graph, chunks)
+        totals = [count_chunk(graph.indptr, graph.indices, lo, hi)
+                  for lo, hi in bounds]
+        assert sum(t[1] for t in totals) == serial.cpu_ops
+        assert sum(t[0] for t in totals) == serial.triangles
