@@ -10,7 +10,10 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["bar_chart", "series_chart"]
+__all__ = ["bar_chart", "series_chart", "sparkline"]
+
+#: Eight-level block ramp used by :func:`sparkline`.
+_SPARK_TICKS = "▁▂▃▄▅▆▇█"
 
 
 def bar_chart(
@@ -84,6 +87,31 @@ def series_chart(
         f"{marker}={name}" for name, marker in markers.items()
     ))
     return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], *, width: int | None = None) -> str:
+    """One-line block-character chart of *values*, scaled to their range.
+
+    With *width* set, the most recent ``width`` values are shown (live
+    views want the trailing window).  A flat series renders at the lowest
+    tick so a sparkline of constants is visibly "flat", not empty.
+    """
+    if width is not None:
+        if width < 1:
+            raise ValueError("sparkline width must be at least one column")
+        values = values[-width:]
+    if not values:
+        return ""
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo
+    if span <= 0:
+        return _SPARK_TICKS[0] * len(values)
+    top = len(_SPARK_TICKS) - 1
+    return "".join(
+        _SPARK_TICKS[min(top, round((value - lo) / span * top))]
+        for value in values
+    )
 
 
 def _fit(x: float) -> str:

@@ -22,8 +22,15 @@ run's causal event timeline (Chrome trace_event JSON — load it in
 Perfetto or ``chrome://tracing``): simulated time for the disk-based
 methods, wall time for ``--method opt-threaded``.  ``trace
 out.trace.json`` summarizes a saved trace as overlap analytics plus an
-ASCII Gantt chart.  The global ``--verbose`` / ``--quiet`` flags
-configure the ``repro.*`` logger hierarchy.
+ASCII Gantt chart.  ``triangulate --telemetry out.jsonl`` streams live
+tick records (counter rates, gauges, histogram percentiles, per-worker
+heartbeats) to a JSONL file while the run is going — simulated clock for
+the disk-based methods (byte-deterministic), wall clock for
+``opt-threaded`` / ``opt-parallel`` — and ``top out.jsonl`` renders that
+stream as a live ASCII dashboard (``--once`` for a single frame,
+``--format prom`` for Prometheus text exposition).  The global
+``--verbose`` / ``--quiet`` flags configure the ``repro.*`` logger
+hierarchy.
 
 Robustness: ``triangulate --fault-kind transient --fault-rate 0.2``
 injects a seeded :class:`~repro.storage.faults.FaultPlan` into the
@@ -144,6 +151,30 @@ def _cmd_triangulate(args) -> int:
         tracer = (EventTracer.wall()
                   if method in ("opt-threaded", "opt-parallel")
                   else EventTracer.sim())
+    telemetry = None
+    telemetry_stream = None
+    if args.telemetry:
+        if method not in traced_methods:
+            print("error: --telemetry applies to the disk-based and parallel "
+                  "methods (opt, opt-vi, mgt, opt-threaded, opt-parallel) "
+                  "only", file=sys.stderr)
+            return 1
+        from repro.obs import TelemetrySampler
+
+        telemetry_path = Path(args.telemetry)
+        if str(telemetry_path.parent) not in ("", "."):
+            telemetry_path.parent.mkdir(parents=True, exist_ok=True)
+        # Stream ticks live (one flushed JSON line each) so a concurrent
+        # `opt-repro top out.jsonl` can follow the run as it goes.  The
+        # disk-based methods sample on the simulated clock at iteration
+        # boundaries (byte-deterministic stream); the threaded and
+        # process-parallel engines sample in wall time.
+        telemetry_stream = telemetry_path.open("w", encoding="utf-8")
+        telemetry = TelemetrySampler(
+            clock=("wall" if method in ("opt-threaded", "opt-parallel")
+                   else "sim"),
+            stream=telemetry_stream,
+        )
     fault_plan, retry_policy = _build_fault_plan(args)
     if fault_plan and method not in fault_methods:
         print("error: --fault-kind applies to the disk-based methods "
@@ -179,7 +210,7 @@ def _cmd_triangulate(args) -> int:
                                   fault_plan=fault_plan,
                                   retry_policy=retry_policy,
                                   checkpoint=checkpoint,
-                                  trace=tracer)
+                                  trace=tracer, telemetry=telemetry)
         if checkpoint is not None:
             path = checkpoint.save(args.checkpoint)
             print(f"wrote checkpoint to {path}")
@@ -197,12 +228,14 @@ def _cmd_triangulate(args) -> int:
                                           report=report,
                                           fault_plan=fault_plan,
                                           retry_policy=retry_policy,
-                                          trace=tracer)
+                                          trace=tracer,
+                                          telemetry=telemetry)
     elif method == "opt-parallel":
         from repro.parallel import triangulate_parallel
 
         result = triangulate_parallel(graph, workers=args.workers,
-                                      report=report, trace=tracer)
+                                      report=report, trace=tracer,
+                                      telemetry=telemetry)
     elif method in ("cc-seq", "cc-ds", "graphchi"):
         from repro.core import buffer_pages_for_ratio, make_store as _ms
 
@@ -238,6 +271,10 @@ def _cmd_triangulate(args) -> int:
     ]
     print(format_table(["measure", "value"], rows,
                        title=f"{method} on {args.dataset or args.input}"))
+    if telemetry is not None:
+        telemetry.finish()
+        telemetry_stream.close()
+        print(f"wrote {len(telemetry)} telemetry samples to {args.telemetry}")
     if tracer is not None:
         path = write_chrome_trace(args.trace, tracer)
         print(f"wrote {len(tracer)} trace events to {path} "
@@ -440,6 +477,50 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    import time
+
+    from repro.obs import expose_text, read_telemetry_jsonl, render_top
+
+    path = Path(args.telemetry_file)
+
+    def frame(ticks: list[dict]) -> str:
+        if args.format == "prom":
+            return expose_text(ticks[-1]) if ticks else ""
+        return render_top(ticks, width=args.width)
+
+    if args.once:
+        try:
+            ticks = read_telemetry_jsonl(path)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(frame(ticks))
+        return 0
+    # Follow mode: re-read the stream, redraw when a new tick lands, and
+    # exit when the producer writes its final tick (or on Ctrl-C).  The
+    # file may not exist yet — the run could still be starting up.
+    last_seq = None
+    try:
+        while True:
+            try:
+                ticks = read_telemetry_jsonl(path)
+            except OSError:
+                ticks = []
+            if ticks:
+                seq = ticks[-1].get("seq")
+                if seq != last_seq:
+                    last_seq = seq
+                    print("\x1b[2J\x1b[H", end="")
+                    print(frame(ticks))
+                if ticks[-1].get("final"):
+                    return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.lint.cli import run_lint
 
@@ -541,6 +622,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "trace_event JSON (Perfetto-loadable); simulated "
                           "clock for opt/opt-vi/mgt, wall clock for "
                           "opt-threaded and opt-parallel")
+    tri.add_argument("--telemetry", default=None, metavar="OUT.jsonl",
+                     help="stream live telemetry tick records (counter "
+                          "rates, gauges, histogram percentiles, worker "
+                          "heartbeats) to this JSONL file; follow it with "
+                          "'top OUT.jsonl'.  Simulated clock for opt/opt-vi/"
+                          "mgt (byte-deterministic), wall clock for "
+                          "opt-threaded and opt-parallel")
     tri.add_argument("--fault-kind", action="append", default=[],
                      choices=["latency", "transient", "torn"],
                      help="inject seeded storage faults of this kind into the "
@@ -610,6 +698,25 @@ def build_parser() -> argparse.ArgumentParser:
     trc.add_argument("--width", type=int, default=72,
                      help="Gantt chart width in columns")
     trc.set_defaults(func=_cmd_trace)
+
+    top = sub.add_parser("top",
+                         help="live ASCII dashboard over a --telemetry "
+                              "JSONL stream (worker progress bars, ETA, "
+                              "hit-rate sparkline, hottest counter rates)")
+    top.add_argument("telemetry_file", metavar="TELEMETRY.jsonl",
+                     help="tick stream written by triangulate --telemetry "
+                          "(may still be growing)")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame from the current ticks "
+                          "and exit (no follow loop)")
+    top.add_argument("--format", choices=["live", "prom"], default="live",
+                     help="'live' ASCII dashboard or 'prom' Prometheus "
+                          "text exposition of the latest tick")
+    top.add_argument("--interval", type=float, default=0.5,
+                     help="follow-mode poll interval in seconds")
+    top.add_argument("--width", type=int, default=72,
+                     help="dashboard width in columns")
+    top.set_defaults(func=_cmd_top)
 
     lnt = sub.add_parser("lint",
                          help="project-specific static analysis (lockset, "

@@ -25,7 +25,12 @@ from repro.analysis.costs import cost_conformance
 from repro.errors import ConfigurationError
 from repro.graph.graph import Graph
 from repro.memory.base import TriangleSink, TriangulationResult
-from repro.obs import EventTracer, RunReport, fold_trace_analytics
+from repro.obs import (
+    EventTracer,
+    RunReport,
+    TelemetrySampler,
+    fold_trace_analytics,
+)
 from repro.sim.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.sim.schedule import simulate
 from repro.sim.trace import RunTrace
@@ -94,6 +99,7 @@ def triangulate_disk(
     retry_policy: RetryPolicy | None = None,
     checkpoint: RunCheckpoint | None = None,
     trace: EventTracer | None = None,
+    telemetry: TelemetrySampler | None = None,
 ) -> TriangulationResult:
     """Run disk-based OPT triangulation end to end.
 
@@ -136,6 +142,13 @@ def triangulate_disk(
         trace's overlap analytics and the ``Cost_OPTserial`` conformance
         verdict are folded into ``report.derived``.
 
+    telemetry:
+        A :class:`~repro.obs.TelemetrySampler`, forwarded to
+        :func:`~repro.core.framework.run_opt`, which ticks it at every
+        iteration boundary.  A sim-clock sampler produces a
+        byte-deterministic JSONL tick stream (``repro triangulate
+        --telemetry``); see :mod:`repro.obs.telemetry`.
+
     Returns a :class:`TriangulationResult` whose ``elapsed`` is the
     simulated wall time and whose ``extra`` carries the trace and the
     scheduler result for deeper analysis.
@@ -169,7 +182,8 @@ def triangulate_disk(
         )
     trace = run_opt(store, config, sink=sink, report=report,
                     fault_plan=fault_plan, retry_policy=retry_policy,
-                    checkpoint=checkpoint, tracer=tracer)
+                    checkpoint=checkpoint, tracer=tracer,
+                    telemetry=telemetry)
     if report is not None:
         with report.span("replay", cores=cores):
             sim = simulate(trace, cost, cores=cores, morphing=morphing,

@@ -25,7 +25,13 @@ from repro.core.plugins import EdgeIteratorPlugin, IteratorPlugin
 from repro.core.result_store import GroupCaptureSink, RunCheckpoint
 from repro.errors import ConfigurationError
 from repro.memory.base import CountSink, TriangleSink
-from repro.obs import EventTracer, RunReport, get_logger
+from repro.obs import (
+    EventTracer,
+    MetricsRegistry,
+    RunReport,
+    TelemetrySampler,
+    get_logger,
+)
 from repro.sim.trace import ExternalRead, IterationTrace, RunTrace
 from repro.storage.buffer import BufferManager
 from repro.storage.faults import FaultPlan, RecoveringLoader, RetryPolicy
@@ -97,6 +103,7 @@ def run_opt(
     retry_policy: RetryPolicy | None = None,
     checkpoint: RunCheckpoint | None = None,
     tracer: EventTracer | None = None,
+    telemetry: TelemetrySampler | None = None,
 ) -> RunTrace:
     """Run OPT over *store* and return the trace (with real triangles).
 
@@ -135,6 +142,13 @@ def run_opt(
     (``recovery.checkpoint.replayed``) and execution restarts at the
     first uncommitted chunk — no already-emitted triangle is listed
     twice.
+
+    With a :class:`~repro.obs.TelemetrySampler` *telemetry*, the driver
+    samples at iteration boundaries: one tick before the first chunk and
+    one after each completed iteration.  A sim-clock sampler ticks at
+    the iteration *ordinal* (``t = 0, 1, 2, ...``) so its JSONL stream
+    is byte-deterministic; a wall-clock sampler ticks rate-limited by
+    its interval.
     """
     if sink is None:
         sink = CountSink()
@@ -142,6 +156,11 @@ def run_opt(
         sink = _PhaseSink(sink, report)
     if tracer is not None and not tracer.enabled:
         tracer = None
+    if telemetry is not None and not telemetry.enabled:
+        telemetry = None
+    if telemetry is not None:
+        telemetry.bind(report.registry if report is not None
+                       else MetricsRegistry())
     plugin = config.plugin
     reader: RecoveringLoader | None = None
     loader = store.decode_page
@@ -178,6 +197,9 @@ def run_opt(
                            tracer=tracer)
 
     output_pages_before = getattr(sink, "pages_written", 0)
+    if telemetry is not None:
+        # The opening tick: t=0 in sim mode, "now" on the wall clock.
+        telemetry.sample(0.0 if telemetry.clock == "sim" else None)
     with _span(report, "run-opt", plugin=plugin.name, m_in=config.m_in,
                m_ex=config.m_ex):
         for index, (pid, end) in enumerate(chunks):
@@ -195,6 +217,7 @@ def run_opt(
                 if report is not None:
                     report.counter("recovery.checkpoint.replayed").inc()
                     report.counter("opt.iterations").inc()
+                _sample_iteration(telemetry, index)
                 continue
             iteration = IterationTrace()
             iteration_sink = (GroupCaptureSink(sink) if checkpoint is not None
@@ -298,6 +321,7 @@ def run_opt(
                 report.counter("opt.iterations").inc()
 
             trace.iterations.append(iteration)
+            _sample_iteration(telemetry, index)
 
             if checkpoint is not None:
                 checkpoint.record(index, pid, end, iteration_sink.groups,
@@ -311,6 +335,21 @@ def run_opt(
         if fault_plan is not None:
             _fold_fault_log(fault_plan, report)
     return trace
+
+
+def _sample_iteration(telemetry: TelemetrySampler | None, index: int) -> None:
+    """One telemetry tick at an iteration boundary.
+
+    Sim clock: the tick's timestamp is the iteration ordinal (``index``
+    completing means ``t = index + 1``), the deterministic time axis.
+    Wall clock: a rate-limited tick at the sampler's interval.
+    """
+    if telemetry is None:
+        return
+    if telemetry.clock == "sim":
+        telemetry.sample(float(index + 1), iteration=index)
+    else:
+        telemetry.maybe_sample()
 
 
 def _fold_fault_log(fault_plan: FaultPlan, report: RunReport) -> None:

@@ -33,7 +33,14 @@ from repro.core.result_store import GroupCaptureSink, RunCheckpoint
 from repro.errors import ConfigurationError
 from repro.graph.graph import Graph
 from repro.memory.base import CountSink, TriangleSink, TriangulationResult
-from repro.obs import EventTracer, RunReport, fold_trace_analytics, get_logger
+from repro.obs import (
+    EventTracer,
+    MetricsRegistry,
+    RunReport,
+    TelemetrySampler,
+    fold_trace_analytics,
+    get_logger,
+)
 from repro.sim.costmodel import DEFAULT_COST_MODEL
 from repro.sim.trace import ExternalRead, IterationTrace, RunTrace
 from repro.storage.faults import FaultPlan, FaultyPageFile, RetryPolicy
@@ -75,6 +82,7 @@ def triangulate_threaded(
     retry_policy: RetryPolicy | None = None,
     checkpoint: RunCheckpoint | None = None,
     trace: EventTracer | None = None,
+    telemetry: TelemetrySampler | None = None,
 ) -> TriangulationResult:
     """Run OPT with real threads and real file I/O.
 
@@ -101,6 +109,11 @@ def triangulate_threaded(
     With a :class:`~repro.core.result_store.RunCheckpoint`, each
     completed iteration commits its emitted groups; committed iterations
     are replayed on resume instead of being re-triangulated.
+
+    With a :class:`~repro.obs.TelemetrySampler` *telemetry* (wall clock
+    only — this engine's timeline is real time), the run ticks at every
+    iteration barrier, rate-limited by the sampler's interval, so
+    ``repro top`` can follow buffer hit rates and SSD queue depth live.
 
     With an :class:`~repro.obs.EventTracer` *trace* (wall clock), both
     timelines land on the event stream: the main thread's ``fill`` /
@@ -129,6 +142,16 @@ def triangulate_threaded(
         store = GraphStore.from_graph(source, page_size)
     m_in = buffer_pages // 2
     tracer = trace if trace is not None and trace.enabled else None
+    if telemetry is not None and not telemetry.enabled:
+        telemetry = None
+    if telemetry is not None:
+        if telemetry.clock != "wall":
+            raise ConfigurationError(
+                "triangulate_threaded runs on real time; pass a "
+                "clock='wall' telemetry sampler"
+            )
+        telemetry.bind(report.registry if report is not None
+                       else MetricsRegistry())
     base_sink = sink if sink is not None else CountSink()
     locked_sink = _LockedSink(base_sink)
     if checkpoint is not None:
@@ -188,6 +211,8 @@ def triangulate_threaded(
                         report.counter("recovery.checkpoint.saved").inc()
                 iterations += 1
                 pid = end + 1
+                if telemetry is not None:
+                    telemetry.maybe_sample()
             pages_read = ssd.pages_read
     finally:
         page_file.close()

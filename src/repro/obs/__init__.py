@@ -23,6 +23,7 @@ anything outside the standard library, so storage/sim/core modules can
 depend on it freely.
 """
 
+from repro.obs.expose import expose_text, read_telemetry_jsonl, render_top
 from repro.obs.logsetup import configure_logging, get_logger
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import (
@@ -31,7 +32,9 @@ from repro.obs.report import (
     RunReport,
     validate_report_dict,
 )
+from repro.obs.series import Series, SeriesBank
 from repro.obs.spans import Span, SpanTracker
+from repro.obs.telemetry import TelemetrySampler, fold_telemetry
 from repro.obs.trace import (
     TRACE_SCHEMA_NAME,
     TRACE_SCHEMA_VERSION,
@@ -69,17 +72,24 @@ __all__ = [
     "RunReport",
     "SCHEMA_NAME",
     "SCHEMA_VERSION",
+    "Series",
+    "SeriesBank",
     "Span",
     "SpanTracker",
     "TRACE_SCHEMA_NAME",
     "TRACE_SCHEMA_VERSION",
+    "TelemetrySampler",
     "TraceEvent",
     "ascii_gantt",
     "configure_logging",
+    "expose_text",
+    "fold_telemetry",
     "fold_trace_analytics",
     "from_chrome_trace",
     "get_logger",
     "overlap_analytics",
+    "read_telemetry_jsonl",
+    "render_top",
     "to_chrome_trace",
     "validate_chrome_trace",
     "write_chrome_trace",

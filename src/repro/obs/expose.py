@@ -1,0 +1,255 @@
+"""Telemetry exposition: Prometheus text format and the ``repro top`` view.
+
+Three consumers read the live pipeline, and this module serves all of
+them from the same tick records :class:`~repro.obs.telemetry.TelemetrySampler`
+produces:
+
+* :func:`expose_text` — Prometheus-style plain text (``# TYPE`` headers,
+  ``repro_``-prefixed sanitized names, labels preserved, histogram
+  summaries as ``quantile`` series).  ``repro top --format prom`` prints
+  it; the future query server will serve it over HTTP verbatim.
+* :func:`render_top` — the live ASCII dashboard: per-worker progress
+  bars, an ETA extrapolated from the chunk-completion rate, a buffer
+  hit-rate sparkline, and the busiest counter rates.
+* :func:`read_telemetry_jsonl` — rebuilds tick records from a streamed
+  ``--telemetry out.jsonl`` file, tolerating a torn final line (the run
+  may still be appending while ``repro top`` follows).
+
+Like the rest of :mod:`repro.obs`, nothing here imports anything outside
+the standard library (the sparkline helper lives in
+:mod:`repro.analysis.ascii_chart`, which is equally dependency-free).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.obs.registry import MetricsRegistry, _parse_key
+
+__all__ = ["expose_text", "read_telemetry_jsonl", "render_top"]
+
+#: Prometheus metric-name alphabet is [a-zA-Z0-9_:]; everything else
+#: (the vocabulary's dots, mostly) becomes an underscore.
+_NAME_PREFIX = "repro_"
+
+#: Histogram summary fields exposed as quantile series.
+_QUANTILES = (("p50", "0.5"), ("p99", "0.99"))
+
+
+def _sanitize(name: str) -> str:
+    out = [ch if ch.isalnum() or ch in "_:" else "_" for ch in name]
+    text = "".join(out)
+    if text and text[0].isdigit():
+        text = "_" + text
+    return _NAME_PREFIX + text
+
+
+def _labels_text(labels: Mapping[str, str], extra: Mapping[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # defensive: bools are ints in Python
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def expose_text(source: Mapping | MetricsRegistry) -> str:
+    """Render a snapshot or tick record as Prometheus text exposition.
+
+    *source* is a :class:`MetricsRegistry`, a ``registry.snapshot()``
+    dict, or a telemetry tick record (which is a superset of a snapshot).
+    Output is deterministic: families sorted by exposed name, one
+    ``# TYPE`` header per family, labels preserved from the registry's
+    ``name{k=v}`` keys.
+    """
+    snapshot = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    lines: list[str] = []
+    families: dict[str, tuple[str, list[str]]] = {}
+
+    def family(exposed: str, kind: str) -> list[str]:
+        if exposed not in families:
+            families[exposed] = (kind, [])
+        return families[exposed][1]
+
+    for key, value in snapshot.get("counters", {}).items():
+        name, labels = _parse_key(key)
+        exposed = _sanitize(name)
+        family(exposed, "counter").append(
+            f"{exposed}{_labels_text(labels)} {_format_value(int(value))}")
+    for key, value in snapshot.get("gauges", {}).items():
+        name, labels = _parse_key(key)
+        exposed = _sanitize(name)
+        family(exposed, "gauge").append(
+            f"{exposed}{_labels_text(labels)} {_format_value(value)}")
+    for key, summary in snapshot.get("histograms", {}).items():
+        name, labels = _parse_key(key)
+        exposed = _sanitize(name)
+        rows = family(exposed, "summary")
+        for field, quantile in _QUANTILES:
+            if field in summary:
+                rows.append(
+                    f"{exposed}"
+                    f"{_labels_text(labels, {'quantile': quantile})} "
+                    f"{_format_value(summary[field])}")
+        rows.append(f"{exposed}_count{_labels_text(labels)} "
+                    f"{_format_value(int(summary.get('count', 0)))}")
+        if "sum" in summary:
+            rows.append(f"{exposed}_sum{_labels_text(labels)} "
+                        f"{_format_value(summary['sum'])}")
+    for exposed in sorted(families):
+        kind, rows = families[exposed]
+        lines.append(f"# TYPE {exposed} {kind}")
+        lines.extend(rows)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def read_telemetry_jsonl(path: str | Path) -> list[dict]:
+    """Tick records from a ``--telemetry`` JSONL file, oldest first.
+
+    A torn final line (the producing run is mid-write) is skipped rather
+    than raised — follow mode simply picks the record up on its next
+    poll.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    ticks: list[dict] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict):
+            ticks.append(record)
+    return ticks
+
+
+# ---------------------------------------------------------------------------
+# The `repro top` frame
+# ---------------------------------------------------------------------------
+
+
+def _progress_bar(fraction: float, width: int) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = round(fraction * width)
+    return "█" * filled + "·" * (width - filled)
+
+
+def _delta_series(ticks: Sequence[Mapping], numerator: str,
+                  denominator: str | None = None) -> list[float]:
+    """Per-tick delta of a counter, optionally as a hit-rate fraction."""
+    values: list[float] = []
+    prev_n = prev_d = None
+    for tick in ticks:
+        counters = tick.get("counters", {})
+        n = float(counters.get(numerator, 0))
+        d = n + float(counters.get(denominator, 0)) if denominator else n
+        if prev_n is not None:
+            dn = n - prev_n
+            dd = d - prev_d
+            values.append(dn / dd if denominator and dd > 0 else dn)
+        prev_n, prev_d = n, d
+    return values
+
+
+def _eta(tick: Mapping, ticks: Sequence[Mapping]) -> float | None:
+    """Remaining seconds from the recent chunk-completion rate."""
+    workers = tick.get("workers")
+    if not workers:
+        return None
+    total = workers.get("total_chunks")
+    done = workers.get("chunks_done")
+    if not total or done is None or done >= total:
+        return None
+    points = [(float(t.get("t", 0.0)), float(t["workers"]["chunks_done"]))
+              for t in ticks if t.get("workers")]
+    if len(points) < 2:
+        return None
+    (t0, d0), (t1, d1) = points[0], points[-1]
+    if t1 <= t0 or d1 <= d0:
+        return None
+    rate = (d1 - d0) / (t1 - t0)
+    return (total - done) / rate
+
+
+def render_top(ticks: Sequence[Mapping], *, width: int = 72) -> str:
+    """One ``repro top`` frame from a tick history (latest tick rules).
+
+    Sections, each skipped when its data is absent: a header (tick count,
+    clock position, sample rate), per-worker progress bars with chunk /
+    ops / steal columns and staleness ages, an ETA from the
+    chunk-completion rate, a buffer hit-rate sparkline, and the busiest
+    counter rates of the latest tick.
+    """
+    from repro.analysis.ascii_chart import sparkline
+
+    if not ticks:
+        return "(no telemetry samples)"
+    tick = ticks[-1]
+    t = float(tick.get("t", 0.0))
+    lines = [
+        f"repro top — sample {tick.get('seq', len(ticks) - 1)}"
+        f" @ t={t:.3f}{'  [final]' if tick.get('final') else ''}"
+    ]
+    workers = tick.get("workers")
+    if workers and workers.get("per"):
+        total = int(workers.get("total_chunks") or 0)
+        bar_width = max(8, min(32, width - 44))
+        for wid, state in sorted(workers["per"].items(),
+                                 key=lambda kv: int(kv[0])):
+            done = int(state.get("chunks", 0))
+            frac = done / total if total else 0.0
+            age = state.get("age")
+            age_text = f" age {age:5.2f}s" if age is not None else ""
+            status = state.get("status", "run")
+            lines.append(
+                f"w{int(wid):<2} [{_progress_bar(frac, bar_width)}] "
+                f"{done:>4}/{total or '?':<4} chunks  "
+                f"ops {int(state.get('ops', 0)):>10,}  "
+                f"steals {int(state.get('steals', 0)):>3}"
+                f"{age_text}  {status}"
+            )
+        eta = _eta(tick, ticks)
+        done_total = int(workers.get("chunks_done", 0))
+        summary = f"chunks {done_total}/{total}" if total else ""
+        if eta is not None:
+            summary += f"  eta {eta:.1f}s"
+        stragglers = int(workers.get("stragglers", 0))
+        if stragglers:
+            summary += f"  stragglers {stragglers}"
+        if summary:
+            lines.append(summary)
+    hits = (_delta_series(ticks, "buffer.hits", "buffer.misses")
+            if any("buffer.hits" in t.get("counters", {}) for t in ticks)
+            else [])
+    if hits:
+        spark = sparkline(hits, width=min(len(hits), width - 24))
+        lines.append(f"buffer hit rate  |{spark}| "
+                     f"{hits[-1] * 100:5.1f}% last")
+    rates = tick.get("rates", {})
+    busiest = sorted(
+        ((key, rate) for key, rate in rates.items() if rate > 0),
+        key=lambda kv: -kv[1],
+    )[:5]
+    if busiest:
+        name_width = max(len(key) for key, _ in busiest)
+        lines.append("hottest rates:")
+        for key, rate in busiest:
+            history = [float(t.get("rates", {}).get(key, 0.0))
+                       for t in ticks]
+            spark = sparkline(history, width=min(len(history), 24))
+            lines.append(f"  {key:<{name_width}} {rate:>12,.1f}/s "
+                         f"|{spark}|")
+    return "\n".join(lines)

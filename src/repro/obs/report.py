@@ -141,11 +141,15 @@ class RunReport:
             sections.append(format_table(["gauge", "value"], rows))
         if metrics["histograms"]:
             rows = [
-                (key, summary["count"], summary["mean"], summary["p99"])
+                (key, summary["count"], summary["mean"],
+                 summary.get("p50", 0.0), summary.get("p95", 0.0),
+                 summary["p99"])
                 for key, summary in sorted(metrics["histograms"].items())
             ][:max_rows]
             sections.append(
-                format_table(["histogram", "count", "mean", "p99"], rows)
+                format_table(
+                    ["histogram", "count", "mean", "p50", "p95", "p99"], rows
+                )
             )
         tree = self._render_spans()
         if tree:

@@ -94,6 +94,14 @@ METRIC_NAMES = frozenset({
     "parallel.chunks",
     "parallel.steals",
     "parallel.workers",
+    "parallel.heartbeats",
+    "parallel.straggler",
+    "parallel.chunk.elapsed",
+    # live telemetry pipeline (repro.obs.telemetry)
+    "telemetry.samples",
+    # live occupancy gauges sampled by the telemetry pipeline
+    "buffer.resident",
+    "ssd.inflight",
     # run headline figures
     "run.elapsed_wall",
     "run.elapsed_simulated",
@@ -122,6 +130,9 @@ TRACE_EVENT_NAMES = frozenset({
     "parallel.chunk",
     "parallel.steal",
     "parallel.merge",
+    "parallel.heartbeat",
+    "parallel.straggler",
+    "telemetry.sample",
 })
 
 #: Event names that represent actual work for utilization purposes

@@ -19,12 +19,16 @@ from repro.parallel.engine import (
     count_chunk,
     triangulate_parallel,
 )
+from repro.parallel.heartbeat import Heartbeat, HeartbeatMonitor, StragglerPolicy
 from repro.parallel.shm import CSRHandle, SharedCSR
 
 __all__ = [
     "CSRHandle",
+    "Heartbeat",
+    "HeartbeatMonitor",
     "ParallelResult",
     "SharedCSR",
+    "StragglerPolicy",
     "WorkerReport",
     "count_chunk",
     "default_chunk_count",

@@ -29,6 +29,7 @@ and the determinism tests compare snapshots with exactly those excluded.
 from __future__ import annotations
 
 import multiprocessing as mp
+import queue as queue_mod
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
@@ -40,8 +41,10 @@ from repro.graph.graph import Graph
 from repro.memory.base import CountSink, TriangleSink, TriangulationResult
 from repro.obs.registry import MetricsRegistry
 from repro.obs.report import RunReport
+from repro.obs.telemetry import TelemetrySampler
 from repro.obs.trace import EventTracer, TraceEvent
 from repro.parallel.chunks import default_chunk_count, plan_chunks
+from repro.parallel.heartbeat import Heartbeat, HeartbeatMonitor, StragglerPolicy
 from repro.parallel.shm import SharedCSR
 from repro.util.intersect import intersect_count_ops, intersect_sorted
 
@@ -128,6 +131,8 @@ def _execute_chunks(
     num_workers: int,
     collect: bool,
     anchor: float,
+    hb_queue=None,
+    chunk_delay: float = 0.0,
 ) -> WorkerReport:
     """Run *tasks* (``(index, lo, hi)``) and record obs locally.
 
@@ -136,6 +141,15 @@ def _execute_chunks(
     ``perf_counter`` reading), so merged events land on the caller's
     timeline without clock negotiation — ``perf_counter`` is one
     system-wide monotonic clock on Linux.
+
+    With *hb_queue* set, a :class:`Heartbeat` is published at start,
+    after every chunk, and once more at drain (``done=True``) — always
+    ``put_nowait``, dropping the beat if the channel is momentarily
+    full: progress reporting must never block the work it reports on.
+    *chunk_delay* is the straggler fault-injection hook: seconds slept
+    once before the first task fetch and again inside every chunk (the
+    up-front sleep makes the stall deterministic even when the other
+    workers drain the queue first; see :class:`StragglerPolicy`).
     """
     registry = MetricsRegistry()
     tracer = EventTracer(clock="wall")
@@ -143,10 +157,30 @@ def _execute_chunks(
     ops_counter = registry.counter("parallel.ops")
     steals_counter = registry.counter("parallel.steals")
     triangles_counter = registry.counter("triangles", phase="parallel")
+    chunk_elapsed = registry.histogram("parallel.chunk.elapsed")
     track = f"parallel/w{worker_id}"
     report = WorkerReport(worker_id=worker_id)
+    done_chunks = total_ops = total_steals = 0
+
+    def beat(done: bool = False) -> None:
+        if hb_queue is None:
+            return
+        try:
+            hb_queue.put_nowait(Heartbeat(
+                worker_id=worker_id, chunks_done=done_chunks,
+                ops=total_ops, steals=total_steals,
+                ts=time.perf_counter() - anchor, done=done,
+            ))
+        except queue_mod.Full:  # pragma: no cover - tiny payloads
+            pass
+
+    beat()
+    if chunk_delay > 0.0:
+        time.sleep(chunk_delay)
     for index, lo, hi in tasks:
         start = time.perf_counter() - anchor
+        if chunk_delay > 0.0:
+            time.sleep(chunk_delay)
         triangles, ops, groups = count_chunk(
             graph.indptr, graph.indices, lo, hi, collect
         )
@@ -154,16 +188,22 @@ def _execute_chunks(
         chunks_counter.inc()
         ops_counter.inc(ops)
         triangles_counter.inc(triangles)
+        chunk_elapsed.observe(end - start)
+        done_chunks += 1
+        total_ops += ops
         owner = index % num_workers
         if owner != worker_id:
             steals_counter.inc()
+            total_steals += 1
             tracer.instant("parallel.steal", ts=end, track=track,
                            chunk=index, owner=owner)
         tracer.complete("parallel.chunk", start, end - start, track=track,
                         chunk=index, lo=lo, hi=hi,
                         triangles=triangles, ops=ops)
         report.results.append((index, lo, hi, triangles, ops, groups))
-    report.snapshot = registry.snapshot()
+        beat()
+    beat(done=True)
+    report.snapshot = registry.snapshot(histogram_samples=True)
     report.events = tracer.events()
     return report
 
@@ -178,7 +218,8 @@ def _drain_queue(task_queue) -> Iterator[tuple[int, int, int]]:
 
 
 def _worker_main(handle, num_workers: int, worker_id: int, collect: bool,
-                 anchor: float, task_queue, result_queue) -> None:
+                 anchor: float, task_queue, result_queue,
+                 hb_queue=None, chunk_delay: float = 0.0) -> None:
     """Forked worker entry: attach, drain the queue, ship one report."""
     shared = SharedCSR.attach(handle)
     graph = None
@@ -186,7 +227,7 @@ def _worker_main(handle, num_workers: int, worker_id: int, collect: bool,
         graph = shared.graph()
         report = _execute_chunks(
             graph, _drain_queue(task_queue), worker_id, num_workers,
-            collect, anchor,
+            collect, anchor, hb_queue, chunk_delay,
         )
     # Worker boundary: ANY failure (including KeyboardInterrupt /
     # SystemExit) must reach the parent as an error report, or the
@@ -203,6 +244,89 @@ def _worker_main(handle, num_workers: int, worker_id: int, collect: bool,
     result_queue.put(report)
 
 
+def _close_queue(q, *, discard: bool = False) -> None:
+    """Release a multiprocessing queue's pipe fds and feeder thread.
+
+    ``discard=True`` (the error path) drops any unflushed buffer instead
+    of waiting on the feeder — the queues are dead either way, and the
+    fd-leak gate in ``tests/test_telemetry.py`` checks exactly this
+    cleanup.
+    """
+    if q is None:
+        return
+    q.close()
+    if discard:
+        q.cancel_join_thread()
+    else:
+        q.join_thread()
+
+
+def _monitored_drain(
+    processes: Sequence,
+    result_queue,
+    hb_queue,
+    monitor: HeartbeatMonitor,
+    policy: StragglerPolicy,
+    telemetry: TelemetrySampler | None,
+    start_wall: float,
+) -> list[WorkerReport]:
+    """Collect worker reports while folding heartbeats + detections.
+
+    The replacement for the blocking ``result_queue.get()`` loop: each
+    pass waits at most ``policy.poll_interval`` for a report, drains
+    every pending heartbeat, runs the straggler/silence detections (a
+    silent worker raises :class:`ParallelError` out of here), and lets a
+    wall-clock telemetry sampler take a rate-limited tick.
+    """
+    reports: list[WorkerReport] = []
+    pending = len(processes)
+    while pending:
+        try:
+            report = result_queue.get(timeout=policy.poll_interval)
+        except queue_mod.Empty:
+            report = None
+        if report is not None:
+            reports.append(report)
+            monitor.mark_done(report.worker_id)
+            pending -= 1
+        monitor.drain(hb_queue)
+        monitor.check(time.perf_counter() - start_wall)
+        if telemetry is not None:
+            telemetry.maybe_sample()
+    monitor.drain(hb_queue)
+    return reports
+
+
+def _replay_sample(
+    rows: Sequence[tuple[int, int, int, int, int, list[Group]]],
+    telemetry: TelemetrySampler,
+) -> None:
+    """Sim-clock telemetry for a parallel run: replay the merged chunks.
+
+    Wall-clock sampling of live workers can never be deterministic, so
+    the sim-clock tick stream is produced *after* the fact from the
+    merged chunk rows, which are a pure function of the graph: a fresh
+    replay registry re-accumulates the deterministic counters in chunk
+    order, sampling at every chunk ordinal.  The resulting JSONL is
+    byte-identical across runs *and across worker counts* — the
+    determinism gate in ``tests/test_telemetry.py``.
+
+    The sampler is rebound to the replay registry (scheduling-dependent
+    counters like ``parallel.steals`` must stay out of the stream).
+    """
+    replay = MetricsRegistry()
+    telemetry.registry = replay
+    chunks_counter = replay.counter("parallel.chunks")
+    ops_counter = replay.counter("parallel.ops")
+    triangles_counter = replay.counter("triangles", phase="parallel")
+    telemetry.sample(0.0)
+    for index, _, _, triangles, ops, _ in rows:
+        chunks_counter.inc()
+        ops_counter.inc(ops)
+        triangles_counter.inc(triangles)
+        telemetry.sample(float(index + 1), chunk=index)
+
+
 def _merge(
     reports: Sequence[WorkerReport],
     chunk_bounds: Sequence[tuple[int, int]],
@@ -212,6 +336,7 @@ def _merge(
     run_report: RunReport | None,
     trace: EventTracer | None,
     anchor_rel: float,
+    telemetry: TelemetrySampler | None = None,
 ) -> tuple[int, int, ParallelResult]:
     """Fold worker reports into (triangles, ops) + obs, deterministically."""
     failures = sorted(
@@ -237,6 +362,8 @@ def _merge(
         )
     triangles = sum(row[3] for row in rows)
     ops = sum(row[4] for row in rows)
+    if telemetry is not None and telemetry.clock == "sim":
+        _replay_sample(rows, telemetry)
     if collect:
         # Chunk-index order == vertex order: the emission sequence is a
         # pure function of the graph, whatever the workers did.
@@ -283,6 +410,8 @@ def triangulate_parallel(
     sink: TriangleSink | None = None,
     report: RunReport | None = None,
     trace: EventTracer | None = None,
+    telemetry: TelemetrySampler | None = None,
+    straggler: StragglerPolicy | None = None,
 ) -> TriangulationResult:
     """List all triangles of *graph* with *workers* processes.
 
@@ -310,6 +439,21 @@ def triangulate_parallel(
     trace:
         Optional wall-clock :class:`EventTracer`; worker slices land on
         one ``parallel/w<id>`` track per worker.
+    telemetry:
+        Optional :class:`TelemetrySampler`.  A wall-clock sampler is
+        fed live from the parent's heartbeat monitor loop (per-worker
+        progress in each tick's ``workers`` section).  A sim-clock
+        sampler instead gets a deterministic post-merge replay of the
+        chunk stream — byte-identical ticks across runs and worker
+        counts — and is rebound to a private replay registry.
+    straggler:
+        Optional :class:`StragglerPolicy` enabling heartbeat monitoring
+        (it also switches on implicitly when a wall-clock *telemetry*
+        sampler is passed): workers publish progress beats, laggards are
+        flagged via ``parallel.straggler``, and with a ``deadline`` set
+        a silent worker raises :class:`ParallelError` promptly instead
+        of hanging the join.  Monitoring is fully off by default — the
+        determinism contract of plain runs is untouched.
 
     Returns the usual :class:`TriangulationResult`; ``extra["parallel"]``
     carries the merged :class:`ParallelResult`.
@@ -323,6 +467,12 @@ def triangulate_parallel(
             "triangulate_parallel records wall-clock events; pass a "
             "clock='wall' tracer"
         )
+    if telemetry is not None and not telemetry.enabled:
+        telemetry = None
+    if telemetry is not None and telemetry.clock == "wall":
+        # Sim-clock samplers are (re)bound by the merge replay instead.
+        telemetry.bind(report.registry if report is not None
+                       else MetricsRegistry())
     collect = sink is not None
     if sink is None:
         sink = CountSink()
@@ -342,11 +492,35 @@ def triangulate_parallel(
         ]
     else:
         effective_workers = min(workers, len(tasks))
+        # Heartbeat monitoring is opt-in: an explicit policy, or
+        # implicitly a live (wall-clock) telemetry sampler.  Plain runs
+        # keep the exact pre-heartbeat code path.
+        policy = straggler
+        live_telemetry = (telemetry if telemetry is not None
+                          and telemetry.clock == "wall" else None)
+        if policy is None and live_telemetry is not None:
+            policy = StragglerPolicy()
+        monitor: HeartbeatMonitor | None = None
+        if policy is not None:
+            monitor = HeartbeatMonitor(
+                policy,
+                workers=effective_workers,
+                total_chunks=len(tasks),
+                registry=(report.registry if report is not None
+                          else live_telemetry.registry
+                          if live_telemetry is not None else None),
+                tracer=trace,
+            )
+            if live_telemetry is not None:
+                live_telemetry.add_provider("workers", monitor.provider)
         shared = SharedCSR.publish(graph)
+        ctx = mp.get_context("fork")
+        task_queue = ctx.Queue()
+        result_queue = ctx.Queue()
+        hb_queue = ctx.Queue() if monitor is not None else None
+        processes: list = []
+        failed = False
         try:
-            ctx = mp.get_context("fork")
-            task_queue = ctx.Queue()
-            result_queue = ctx.Queue()
             for task in tasks:
                 task_queue.put(task)
             for _ in range(effective_workers):
@@ -355,7 +529,11 @@ def triangulate_parallel(
                 ctx.Process(
                     target=_worker_main,
                     args=(shared.handle, effective_workers, worker_id,
-                          collect, start_wall, task_queue, result_queue),
+                          collect, start_wall, task_queue, result_queue,
+                          hb_queue,
+                          policy.inject_chunk_delay
+                          if policy is not None
+                          and policy.inject_worker == worker_id else 0.0),
                     name=f"parallel-w{worker_id}",
                 )
                 for worker_id in range(effective_workers)
@@ -365,16 +543,36 @@ def triangulate_parallel(
             # Drain results *before* join: a worker blocks in put() until
             # the parent reads, so the reverse order deadlocks on big
             # payloads.
-            worker_reports = [result_queue.get() for _ in processes]
+            if monitor is None:
+                worker_reports = [result_queue.get() for _ in processes]
+            else:
+                worker_reports = _monitored_drain(
+                    processes, result_queue, hb_queue, monitor, policy,
+                    live_telemetry, start_wall,
+                )
             for process in processes:
                 process.join()
+        # Cleanup-and-reraise: even KeyboardInterrupt must terminate the
+        # workers and discard the queues, or the interpreter hangs at
+        # exit on the feeder threads.  # lint: ignore[error-types]
+        except BaseException:
+            failed = True
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            for process in processes:
+                process.join()
+            raise
         finally:
             shared.close()
             shared.unlink()
+            _close_queue(task_queue, discard=failed)
+            _close_queue(result_queue, discard=failed)
+            _close_queue(hb_queue, discard=failed)
 
     triangles, ops, parallel_result = _merge(
         worker_reports, chunk_bounds, effective_workers, sink, collect,
-        report, trace, anchor_rel,
+        report, trace, anchor_rel, telemetry,
     )
     elapsed = time.perf_counter() - start_wall
     extra = {

@@ -58,6 +58,9 @@ class BufferManager:
         self._hits = self.registry.counter("buffer.hits")
         self._misses = self.registry.counter("buffer.misses")
         self._evictions = self.registry.counter("buffer.evictions")
+        # Live occupancy for the telemetry pipeline; kept in step with
+        # every resident-set mutation.
+        self._resident = self.registry.gauge("buffer.resident")
 
     @property
     def hits(self) -> int:
@@ -108,6 +111,7 @@ class BufferManager:
             self._ensure_free_frame()
             frame = Frame(pid, self._loader(pid))
             self._frames[pid] = frame
+            self._resident.set(len(self._frames))
         if pin:
             frame.pin_count += 1
         return frame
@@ -119,6 +123,7 @@ class BufferManager:
             self._ensure_free_frame()
             frame = Frame(pid, records)
             self._frames[pid] = frame
+            self._resident.set(len(self._frames))
         else:
             self._frames.move_to_end(pid)
         if pin:
@@ -146,6 +151,7 @@ class BufferManager:
         """Drop every unpinned frame (used between independent runs)."""
         for pid in [p for p, f in self._frames.items() if f.pin_count == 0]:
             del self._frames[pid]
+        self._resident.set(len(self._frames))
 
     # -- internals ------------------------------------------------------------
 
@@ -156,6 +162,7 @@ class BufferManager:
             if frame.pin_count == 0:
                 del self._frames[pid]
                 self._evictions.inc()
+                self._resident.set(len(self._frames))
                 if self._tracer is not None:
                     self._tracer.instant("buffer.evict", pid=pid)
                 return

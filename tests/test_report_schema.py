@@ -85,6 +85,22 @@ def test_checker_flags_bad_payload(checker, tmp_path):
     assert errors and "schema" in errors[0]
 
 
+def test_telemetry_overhead_baseline_is_seeded(checker):
+    """The committed telemetry-overhead artifact validates and its
+    derived ratios honor the pipeline's overhead contract (<10% wall
+    cost enabled, ~0 disabled — see bench_telemetry_overhead.py)."""
+    path = BENCHMARKS_DIR / "results" / "BENCH_telemetry_overhead.json"
+    assert path.exists(), "missing committed BENCH_telemetry_overhead.json"
+    assert checker.validate_file(path) == []
+    derived = json.loads(path.read_text(encoding="utf-8"))["derived"]
+    assert derived["telemetry_overhead"] < 1.10
+    assert derived["disabled_overhead"] < 1.05
+    assert derived["telemetry_samples"] > 0
+    # fold_telemetry landed the final series state alongside the ratios.
+    assert derived["telemetry"]["samples"] == derived["telemetry_samples"]
+    assert "buffer.hits" in derived["telemetry"]["series"]
+
+
 def test_validate_report_dict_rejects_future_version():
     payload = json.loads(RunReport("x").to_json())
     payload["version"] = 999

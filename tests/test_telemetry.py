@@ -1,0 +1,396 @@
+"""Live telemetry pipeline: sampler, determinism, heartbeats, exposition.
+
+Four concerns, mirroring the tentpole's structure:
+
+* :class:`TestSampler` — the :class:`~repro.obs.TelemetrySampler` unit
+  contract (sim mode needs explicit timestamps, disabled samplers are
+  inert, ring buffers stay bounded, rates derive from counter deltas).
+* :class:`TestSimDeterminism` — the headline guarantee: a sim-clock tick
+  stream is byte-identical across repeat runs, and (for the parallel
+  engine's merge-replay sampling) across worker counts.
+* :class:`TestHeartbeats` / :class:`TestFaultMatrix` — worker heartbeats
+  fold into per-worker series; an injected slow worker is flagged as a
+  straggler but the run completes; an injected *stalled* worker raises
+  :class:`~repro.errors.ParallelError` well before the run would have
+  hung at join.  Plus the resource-hygiene gates: no fd and no /dev/shm
+  growth with the heartbeat channel enabled.
+* :class:`TestExposition` — Prometheus text, ``repro top`` frames,
+  sparklines, JSONL round-trips, and the CLI surface.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+
+import pytest
+
+from repro.analysis.ascii_chart import sparkline
+from repro.errors import ConfigurationError, ParallelError
+from repro.obs import (
+    MetricsRegistry,
+    RunReport,
+    TelemetrySampler,
+    expose_text,
+    fold_telemetry,
+    read_telemetry_jsonl,
+    render_top,
+)
+from repro.parallel import StragglerPolicy, triangulate_parallel
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _sampled_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("parallel.ops").inc(10)
+    registry.gauge("buffer.resident").set(4.0)
+    registry.histogram("parallel.chunk.elapsed").observe(0.5)
+    return registry
+
+
+class TestSampler:
+    def test_sim_clock_requires_explicit_now(self):
+        sampler = TelemetrySampler(_sampled_registry(), clock="sim")
+        with pytest.raises(ValueError, match="explicit sample time"):
+            sampler.sample()
+        tick = sampler.sample(0.0)
+        assert tick["t"] == 0.0 and tick["seq"] == 0
+
+    def test_sim_clock_refuses_background_thread(self):
+        sampler = TelemetrySampler(_sampled_registry(), clock="sim")
+        with pytest.raises(ValueError, match="wall-clock"):
+            sampler.start()
+
+    def test_unbound_sampler_raises(self):
+        with pytest.raises(ValueError, match="no registry"):
+            TelemetrySampler(clock="wall").sample()
+
+    def test_disabled_sampler_is_inert(self):
+        sampler = TelemetrySampler(_sampled_registry(), clock="sim",
+                                   enabled=False)
+        assert sampler.sample(0.0) == {}
+        assert sampler.maybe_sample(1.0) is None
+        assert len(sampler) == 0
+        assert sampler.to_jsonl() == ""
+
+    def test_ring_buffers_stay_bounded(self):
+        registry = _sampled_registry()
+        sampler = TelemetrySampler(registry, clock="sim", capacity=8)
+        for i in range(50):
+            sampler.sample(float(i))
+        assert len(sampler) == 8
+        assert sampler.ticks()[0]["t"] == 42.0  # oldest retained
+        assert all(len(series) <= 8
+                   for _name, series in sampler.bank.items())
+
+    def test_counter_rates_from_deltas(self):
+        registry = MetricsRegistry()
+        ops = registry.counter("parallel.ops")
+        sampler = TelemetrySampler(registry, clock="sim")
+        ops.inc(10)
+        sampler.sample(0.0)
+        ops.inc(30)
+        tick = sampler.sample(2.0)
+        assert tick["counters"]["parallel.ops"] == 40
+        assert tick["rates"]["parallel.ops"] == pytest.approx(15.0)
+
+    def test_maybe_sample_rate_limits(self):
+        sampler = TelemetrySampler(_sampled_registry(), clock="sim",
+                                   interval=1.0)
+        assert sampler.maybe_sample(0.0) is not None
+        assert sampler.maybe_sample(0.5) is None  # under the interval
+        assert sampler.maybe_sample(1.5) is not None
+
+    def test_histogram_percentiles_on_ticks(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("parallel.chunk.elapsed")
+        for value in range(100):
+            hist.observe(float(value))
+        tick = TelemetrySampler(registry, clock="sim").sample(0.0)
+        summary = tick["histograms"]["parallel.chunk.elapsed"]
+        assert summary["count"] == 100
+        assert summary["p50"] == 50.0  # nearest-rank over 0..99
+        assert summary["p99"] == 98.0
+
+    def test_finish_emits_final_marker(self):
+        sampler = TelemetrySampler(_sampled_registry(), clock="sim")
+        sampler.sample(0.0)
+        sampler.sample(1.0)
+        tick = sampler.finish()
+        assert tick["final"] is True
+        assert tick["t"] == 2.0  # one ordinal past the last sample
+
+    def test_fold_telemetry_lands_in_derived(self):
+        report = RunReport("telemetry-fold")
+        sampler = TelemetrySampler(report.registry, clock="sim")
+        report.registry.counter("parallel.ops").inc(3)
+        sampler.sample(0.0)
+        payload = fold_telemetry(report, sampler)
+        assert report.to_dict()["derived"]["telemetry"] == payload
+        assert payload["samples"] == 1
+        assert payload["series"]["parallel.ops"] == 3.0
+
+
+class TestSimDeterminism:
+    """Byte-identical JSONL: the sim-clock stream is a pure function of
+    the workload — across repeat runs and across worker counts."""
+
+    @staticmethod
+    def _disk_jsonl(graph) -> str:
+        from repro.core import make_store, triangulate_disk
+
+        sampler = TelemetrySampler(clock="sim")
+        triangulate_disk(make_store(graph, 1024), buffer_ratio=0.2,
+                         telemetry=sampler)
+        sampler.finish()
+        return sampler.to_jsonl()
+
+    def test_disk_stream_identical_across_repeat_runs(self, small_rmat_ordered):
+        first = self._disk_jsonl(small_rmat_ordered)
+        second = self._disk_jsonl(small_rmat_ordered)
+        assert first and first == second
+        # One opening tick, one per iteration, one final marker.
+        ticks = [json.loads(line) for line in first.splitlines()]
+        assert ticks[0]["t"] == 0.0
+        assert ticks[-1]["final"] is True
+
+    @staticmethod
+    def _parallel_jsonl(graph, workers: int) -> str:
+        sampler = TelemetrySampler(clock="sim")
+        triangulate_parallel(graph, workers=workers, chunks=8,
+                             telemetry=sampler)
+        sampler.finish()
+        return sampler.to_jsonl()
+
+    def test_parallel_stream_identical_across_worker_counts(self, clustered_graph):
+        streams = {w: self._parallel_jsonl(clustered_graph, w)
+                   for w in WORKER_COUNTS}
+        assert len(set(streams.values())) == 1
+        assert streams[1]  # non-empty
+
+    def test_parallel_stream_identical_across_repeat_runs(self, clustered_graph):
+        first = self._parallel_jsonl(clustered_graph, 2)
+        second = self._parallel_jsonl(clustered_graph, 2)
+        assert first == second
+
+
+class TestHeartbeats:
+    def test_live_run_folds_worker_sections(self, clustered_graph):
+        """A wall-clock sampler on the parallel engine yields ticks with
+        a per-worker ``workers`` section and heartbeat counters."""
+        report = RunReport("heartbeat-live")
+        sampler = TelemetrySampler(clock="wall", interval=0.01)
+        triangulate_parallel(clustered_graph, workers=2, chunks=8,
+                             report=report, telemetry=sampler)
+        sampler.finish()
+        ticks = sampler.ticks()
+        assert ticks, "wall sampler recorded nothing"
+        last = ticks[-1]
+        workers = last["workers"]
+        assert set(workers["per"]) == {"0", "1"}
+        assert workers["total_chunks"] == 8
+        assert workers["chunks_done"] == 8
+        assert all(state["status"] == "done"
+                   for state in workers["per"].values())
+        assert report.registry.value("parallel.heartbeats") > 0
+
+    def test_plain_run_has_no_heartbeat_counters(self, clustered_graph):
+        """Without telemetry or a straggler policy the heartbeat channel
+        stays out of the run entirely (the determinism-critical path)."""
+        report = RunReport("heartbeat-off")
+        triangulate_parallel(clustered_graph, workers=2, report=report)
+        assert report.registry.value("parallel.heartbeats") == 0
+
+    @pytest.mark.parametrize("workers", (1, 4))
+    def test_no_fd_leak_with_heartbeats(self, clustered_graph, workers):
+        """The heartbeat queue and telemetry add no lingering fds."""
+        policy = StragglerPolicy(poll_interval=0.01)
+        sampler = TelemetrySampler(clock="wall", interval=0.01)
+        triangulate_parallel(clustered_graph, workers=workers, chunks=8,
+                             telemetry=sampler, straggler=policy)  # warm-up
+        gc.collect()
+        before = len(os.listdir("/proc/self/fd"))
+        for _ in range(3):
+            sampler = TelemetrySampler(clock="wall", interval=0.01)
+            triangulate_parallel(clustered_graph, workers=workers, chunks=8,
+                                 telemetry=sampler, straggler=policy)
+        gc.collect()
+        assert len(os.listdir("/proc/self/fd")) <= before
+
+    def test_no_dev_shm_leak_with_heartbeats(self, clustered_graph):
+        before = set(os.listdir("/dev/shm"))
+        policy = StragglerPolicy(poll_interval=0.01)
+        for _ in range(2):
+            triangulate_parallel(clustered_graph, workers=2, chunks=8,
+                                 straggler=policy)
+        assert set(os.listdir("/dev/shm")) <= before
+
+
+class TestFaultMatrix:
+    def test_slow_worker_flagged_but_run_completes(self, clustered_graph):
+        """A worker made modestly slow is flagged as a straggler while
+        the run still finishes with the right answer."""
+        policy = StragglerPolicy(poll_interval=0.02, fraction=0.6,
+                                 min_chunks=1, grace=0.0,
+                                 inject_worker=1, inject_chunk_delay=0.05)
+        report = RunReport("fault-slow")
+        result = triangulate_parallel(clustered_graph, workers=3, chunks=12,
+                                      straggler=policy, report=report)
+        reference = triangulate_parallel(clustered_graph, workers=3, chunks=12)
+        assert result.triangles == reference.triangles
+        assert report.registry.value("parallel.straggler") >= 1
+
+    def test_stalled_worker_raises_before_join(self, clustered_graph):
+        """A worker stalled far past the deadline surfaces a timely
+        ParallelError instead of hanging the parent at join."""
+        import time
+
+        policy = StragglerPolicy(poll_interval=0.02, deadline=0.25,
+                                 inject_worker=0, inject_chunk_delay=30.0)
+        report = RunReport("fault-stall")
+        start = time.perf_counter()
+        with pytest.raises(ParallelError, match="no heartbeat"):
+            triangulate_parallel(clustered_graph, workers=3, chunks=12,
+                                 straggler=policy, report=report)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 10.0, f"detection took {elapsed:.1f}s"
+        assert report.registry.value("parallel.straggler") >= 1
+
+    def test_stalled_worker_leaves_no_shm(self, clustered_graph):
+        before = set(os.listdir("/dev/shm"))
+        policy = StragglerPolicy(poll_interval=0.02, deadline=0.2,
+                                 inject_worker=0, inject_chunk_delay=30.0)
+        with pytest.raises(ParallelError):
+            triangulate_parallel(clustered_graph, workers=2, chunks=8,
+                                 straggler=policy)
+        assert set(os.listdir("/dev/shm")) <= before
+
+
+class TestThreadedTelemetry:
+    def test_threaded_engine_samples_wall_ticks(self, small_rmat_ordered, tmp_path):
+        from repro.core import make_store, triangulate_threaded
+
+        store = make_store(small_rmat_ordered, 1024)
+        sampler = TelemetrySampler(clock="wall", interval=0.0001)
+        triangulate_threaded(store, tmp_path / "pages", buffer_pages=8,
+                             page_size=1024, telemetry=sampler)
+        sampler.finish()
+        assert len(sampler) >= 2
+        assert sampler.ticks()[-1]["final"] is True
+
+    def test_threaded_engine_rejects_sim_sampler(self, small_rmat_ordered, tmp_path):
+        from repro.core import make_store, triangulate_threaded
+
+        store = make_store(small_rmat_ordered, 1024)
+        with pytest.raises(ConfigurationError, match="wall"):
+            triangulate_threaded(store, tmp_path / "pages", buffer_pages=8,
+                                 page_size=1024,
+                                 telemetry=TelemetrySampler(clock="sim"))
+
+
+class TestExposition:
+    def test_expose_text_families(self):
+        registry = _sampled_registry()
+        registry.counter("triangles", phase="parallel").inc(7)
+        text = expose_text(registry)
+        assert "# TYPE repro_parallel_ops counter" in text
+        assert "repro_parallel_ops 10" in text
+        assert "repro_buffer_resident 4.0" in text
+        assert 'repro_triangles{phase="parallel"} 7' in text
+        assert 'repro_parallel_chunk_elapsed{quantile="0.5"} 0.5' in text
+        assert "repro_parallel_chunk_elapsed_count 1" in text
+
+    def test_expose_text_accepts_tick_records(self):
+        sampler = TelemetrySampler(_sampled_registry(), clock="sim")
+        tick = sampler.sample(0.0)
+        text = expose_text(tick)
+        assert "repro_parallel_ops 10" in text
+
+    def test_sparkline_shapes(self):
+        assert sparkline([]) == ""
+        assert sparkline([1.0, 1.0]) == "▁▁"
+        ramp = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert ramp[0] == "▁" and ramp[-1] == "█"
+        assert sparkline(list(range(100)), width=10) == sparkline(
+            list(range(90, 100)))
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+
+    def test_jsonl_round_trip_tolerates_torn_tail(self, tmp_path):
+        sampler = TelemetrySampler(_sampled_registry(), clock="sim")
+        sampler.sample(0.0)
+        sampler.sample(1.0)
+        path = tmp_path / "ticks.jsonl"
+        path.write_text(sampler.to_jsonl() + '{"t":2.0,"seq":2,"cou',
+                        encoding="utf-8")
+        ticks = read_telemetry_jsonl(path)
+        assert [tick["t"] for tick in ticks] == [0.0, 1.0]
+
+    def test_render_top_empty(self):
+        assert render_top([]) == "(no telemetry samples)"
+
+    def test_render_top_worker_frame(self):
+        ticks = [
+            {"t": float(i), "seq": i,
+             "counters": {"buffer.hits": i * 8, "buffer.misses": i * 2,
+                          "parallel.ops": i * 100},
+             "rates": {"parallel.ops": 100.0},
+             "workers": {
+                 "per": {"0": {"chunks": i, "ops": i * 50, "steals": 0,
+                               "age": 0.01, "status": "run"},
+                         "1": {"chunks": i // 2, "ops": i * 25, "steals": 1,
+                               "age": 0.02, "status": "straggler"}},
+                 "chunks_done": i + i // 2, "total_chunks": 12,
+                 "stragglers": 1}}
+            for i in range(1, 5)
+        ]
+        frame = render_top(ticks)
+        assert "w0" in frame and "w1" in frame
+        assert "straggler" in frame
+        assert "stragglers 1" in frame
+        assert "eta" in frame
+        assert "buffer hit rate" in frame
+        assert "80.0% last" in frame  # 8 hits per 2 misses per tick
+
+    def test_render_top_skips_absent_sections(self):
+        frame = render_top([{"t": 0.0, "seq": 0, "counters": {},
+                             "rates": {}}])
+        assert "buffer hit rate" not in frame
+        assert "w0" not in frame
+
+
+class TestCli:
+    def test_triangulate_telemetry_then_top(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.graph.io import write_edge_list
+        from repro.graph import generators
+
+        graph = generators.erdos_renyi(120, 600, seed=3)
+        graph_path = tmp_path / "g.txt"
+        write_edge_list(graph, graph_path)
+        out = tmp_path / "ticks.jsonl"
+        assert main(["triangulate", "--input", str(graph_path),
+                     "--method", "opt", "--telemetry", str(out)]) == 0
+        ticks = read_telemetry_jsonl(out)
+        assert ticks and ticks[-1]["final"] is True
+        capsys.readouterr()
+        assert main(["top", str(out), "--once"]) == 0
+        frame = capsys.readouterr().out
+        assert "repro top" in frame and "[final]" in frame
+        assert main(["top", str(out), "--once", "--format", "prom"]) == 0
+        assert "# TYPE" in capsys.readouterr().out
+
+    def test_telemetry_rejects_in_memory_methods(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.graph.io import write_edge_list
+        from repro.graph import generators
+
+        graph_path = tmp_path / "g.txt"
+        write_edge_list(generators.erdos_renyi(50, 200, seed=1), graph_path)
+        code = main(["triangulate", "--input", str(graph_path),
+                     "--method", "forward",
+                     "--telemetry", str(tmp_path / "t.jsonl")])
+        assert code == 1
+        assert "--telemetry applies" in capsys.readouterr().err
