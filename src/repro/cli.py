@@ -251,6 +251,19 @@ def _cmd_triangulate(args) -> int:
             result = graphchi_tri(graph, buffer_pages=pages,
                                   page_size=args.page_size, cost=cost,
                                   cores=args.cores)
+    elif method == "compose":
+        from repro.errors import ConfigurationError
+        from repro.exec import compose
+
+        try:
+            engine = compose(args.source, args.kernel, args.executor,
+                             graph=graph, workers=args.workers,
+                             page_size=args.page_size)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        result = engine.run(report=report)
+        method = f"compose:{engine.describe()}"
     else:
         runner = {"edge-iterator": edge_iterator,
                   "vertex-iterator": vertex_iterator,
@@ -260,6 +273,7 @@ def _cmd_triangulate(args) -> int:
 
     elapsed_label = ("elapsed (wall s)"
                      if method in ("opt-threaded", "opt-parallel")
+                     or method.startswith("compose:")
                      else "elapsed (simulated s)")
     rows = [
         ("triangles", result.triangles),
@@ -607,7 +621,22 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["opt", "opt-vi", "mgt", "opt-threaded",
                               "opt-parallel", "cc-seq", "cc-ds",
                               "graphchi", "edge-iterator", "vertex-iterator",
-                              "forward", "matrix"])
+                              "forward", "matrix", "compose"])
+    # Axis choices mirror repro.exec.registry (SOURCES / KERNELS /
+    # EXECUTORS); the scenario matrix asserts they stay in sync so the
+    # parser never imports the engine stack just to print --help.
+    tri.add_argument("--source", default="memory",
+                     choices=["memory", "shm", "disk"],
+                     help="graph source for --method compose: heap CSR, "
+                          "POSIX shared-memory CSR, or paged disk store")
+    tri.add_argument("--kernel", default="hash",
+                     choices=["hash", "merge", "gallop", "bitmap"],
+                     help="intersection kernel for --method compose "
+                          "(hash charges the paper's Eq. 3 probe count)")
+    tri.add_argument("--executor", default="serial",
+                     choices=["serial", "threaded", "process"],
+                     help="execution strategy for --method compose; "
+                          "'process' requires --source shm")
     tri.add_argument("--buffer-ratio", type=float, default=0.15)
     tri.add_argument("--page-size", type=int, default=4096)
     tri.add_argument("--cores", type=int, default=1)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.lint.engine import Rule
 from repro.lint.rules.callback_io import CallbackIoRule
+from repro.lint.rules.engine_composition import EngineCompositionRule
 from repro.lint.rules.error_types import ErrorTypesRule
 from repro.lint.rules.kwargs_threading import KwargsThreadingRule
 from repro.lint.rules.lockset import LocksetRule
@@ -35,6 +36,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     SimPurityRule,
     ObsVocabRule,
     CallbackIoRule,
+    EngineCompositionRule,
     ErrorTypesRule,
     KwargsThreadingRule,
     MutableDefaultRule,

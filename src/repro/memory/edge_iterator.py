@@ -5,20 +5,31 @@ For every edge ``(u, v)`` with ``id(u) < id(v)``, every common successor
 ordering constraint lists each triangle exactly once.  With the hash cost
 model, one edge costs ``min(|n_succ(u)|, |n_succ(v)|)`` operations and the
 total is ``O(alpha * |E|)`` (Eq. 2-5).
+
+This function is now a façade over the composition layer: it runs
+``compose(memory, <kernel>, serial)`` from :mod:`repro.exec`, which
+executes the identical loop with the identical operation accounting.
+The scenario matrix cross-checks the composed cell against every other
+source/executor pairing, so the façade stays honest by construction.
 """
 
 from __future__ import annotations
 
 from repro.graph.graph import Graph
-from repro.memory.base import CountSink, TriangleSink, TriangulationResult
-from repro.util.intersect import (
-    IntersectionKernel,
-    intersect_count_ops,
-    intersect_sorted,
-    resolve_kernel,
-)
+from repro.memory.base import TriangleSink, TriangulationResult
+from repro.util.intersect import IntersectionKernel
 
 __all__ = ["edge_iterator"]
+
+#: Historical kernel selector -> exec registry kernel name.  NUMPY and
+#: HASH share the Eq. 3 analytic charge ``min(|a|, |b|)``; the exec
+#: ``hash`` kernel is the vectorized fast path that charges it.
+_KERNEL_NAMES = {
+    IntersectionKernel.NUMPY: "hash",
+    IntersectionKernel.HASH: "hash",
+    IntersectionKernel.MERGE: "merge",
+    IntersectionKernel.GALLOP: "gallop",
+}
 
 
 def edge_iterator(
@@ -44,34 +55,14 @@ def edge_iterator(
 
     Returns the triangle count and the CPU op count.
     """
-    if sink is None:
-        sink = CountSink()
+    from repro.exec.engine import compose
+
     kernel = IntersectionKernel(kernel)
-    triangles = 0
-    ops = 0
-    if kernel is IntersectionKernel.NUMPY:
-        for u in range(graph.num_vertices):
-            succ_u = graph.n_succ(u)
-            if len(succ_u) == 0:
-                continue
-            for v in succ_u:
-                v = int(v)
-                succ_v = graph.n_succ(v)
-                ops += intersect_count_ops(len(succ_u), len(succ_v))
-                common = intersect_sorted(succ_u, succ_v)
-                if len(common):
-                    triangles += len(common)
-                    sink.emit(u, v, common.tolist())
-    else:
-        intersect = resolve_kernel(kernel)
-        for u in range(graph.num_vertices):
-            succ_u = graph.n_succ(u).tolist()
-            if not succ_u:
-                continue
-            for v in succ_u:
-                common, kernel_ops = intersect(succ_u, graph.n_succ(v).tolist())
-                ops += kernel_ops
-                if common:
-                    triangles += len(common)
-                    sink.emit(u, v, common)
-    return TriangulationResult(triangles=triangles, cpu_ops=ops)
+    engine = compose("memory", _KERNEL_NAMES[kernel], "serial", graph=graph)
+    # No sink: run in count-only mode (no group materialization), the
+    # historical default-CountSink behavior.
+    result = engine.run(sink)
+    # Preserve the historical result shape: a pure in-memory run reports
+    # triangles and CPU ops only.
+    return TriangulationResult(triangles=result.triangles,
+                               cpu_ops=result.cpu_ops)

@@ -89,6 +89,10 @@ METRIC_NAMES = frozenset({
     "sim.cpu_time",
     "sim.read_io_time",
     "sim.fault_delay",
+    # composed engines (repro.exec) — labelled source/kernel/executor
+    "exec.triangles",
+    "exec.ops",
+    "exec.chunks",
     # process-parallel engine (repro.parallel)
     "parallel.ops",
     "parallel.chunks",

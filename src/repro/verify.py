@@ -1,32 +1,57 @@
 """Cross-method verification: every engine must list the same triangles.
 
-The strongest correctness statement this library makes is that all of its
-triangulation paths — four in-memory methods, three OPT plugins across
-buffer configurations, the real-thread engine, and the three disk
-baselines — agree exactly.  :func:`verify_methods` runs them all on one
-graph and reports the counts; the CLI exposes it as ``opt-repro verify``.
+The strongest correctness statement this library makes is that all of
+its triangulation paths agree exactly.  The method list is no longer
+hand-maintained here: :func:`verify_methods` iterates
+:func:`repro.exec.registry.verification_methods` — the in-memory
+methods, the OPT plugins, the disk baselines, the threaded and
+process-parallel engines, and one composed ``exec:*`` witness per
+registry axis — so any engine registered with the composition layer is
+cross-checked automatically.  An independent pure-python brute-force
+oracle anchors the comparison and breaks majority ties
+deterministically.
 """
 
 from __future__ import annotations
 
-import tempfile
+from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.baselines import cc_ds, cc_seq, graphchi_tri, mgt
-from repro.core import make_store, triangulate_disk, triangulate_threaded
 from repro.graph.graph import Graph
-from repro.memory import (
-    compact_forward,
-    edge_iterator,
-    forward,
-    matrix_count,
-    vertex_iterator,
-)
-from repro.parallel import triangulate_parallel
 from repro.sim import DEFAULT_COST_MODEL, CostModel
 from repro.storage.page import DEFAULT_PAGE_SIZE
 
-__all__ = ["VerificationReport", "verify_methods"]
+__all__ = ["VerificationReport", "oracle_count", "oracle_triangles",
+           "verify_methods"]
+
+#: The counts key under which the brute-force oracle is recorded.
+ORACLE = "oracle"
+
+
+def oracle_triangles(graph: Graph) -> list[tuple[int, int, int]]:
+    """Brute-force triangle listing via python sets — the test oracle.
+
+    Deliberately shares nothing with the engines (no numpy, no CSR
+    successor logic): adjacency sets and three nested comparisons.  The
+    scenario matrix compares every cell's listing against this.
+    """
+    adjacency = [set(map(int, graph.neighbors(u)))
+                 for u in range(graph.num_vertices)]
+    triangles = []
+    for u in range(graph.num_vertices):
+        for v in adjacency[u]:
+            if v <= u:
+                continue
+            for w in adjacency[u] & adjacency[v]:
+                if w > v:
+                    triangles.append((u, v, w))
+    triangles.sort()
+    return triangles
+
+
+def oracle_count(graph: Graph) -> int:
+    """Triangle count by the brute-force oracle."""
+    return len(oracle_triangles(graph))
 
 
 @dataclass
@@ -34,6 +59,10 @@ class VerificationReport:
     """Triangle counts per method plus the agreement verdict."""
 
     counts: dict[str, int] = field(default_factory=dict)
+    #: Method whose count wins majority ties in :meth:`disagreements`
+    #: (the brute-force oracle when the report came from
+    #: :func:`verify_methods`).
+    oracle: str | None = None
 
     @property
     def consistent(self) -> bool:
@@ -44,11 +73,24 @@ class VerificationReport:
         return next(iter(self.counts.values()), 0)
 
     def disagreements(self) -> dict[str, int]:
-        """Methods whose count differs from the majority."""
+        """Methods whose count differs from the majority.
+
+        The majority is deterministic: the most common count wins; when
+        several counts tie, the oracle's count wins if it is among the
+        tied values, else the smallest tied value.  (The historical
+        ``max(set(values), key=values.count)`` broke ties by hash order,
+        so an even split could blame either side from run to run.)
+        """
         if self.consistent or not self.counts:
             return {}
-        values = list(self.counts.values())
-        majority = max(set(values), key=values.count)
+        tally = Counter(self.counts.values())
+        best = max(tally.values())
+        tied = sorted(value for value, times in tally.items() if times == best)
+        majority = tied[0]
+        if len(tied) > 1 and self.oracle is not None \
+                and self.oracle in self.counts \
+                and self.counts[self.oracle] in tied:
+            majority = self.counts[self.oracle]
         return {name: count for name, count in self.counts.items()
                 if count != majority}
 
@@ -61,36 +103,12 @@ def verify_methods(
     cost: CostModel = DEFAULT_COST_MODEL,
     include_threaded: bool = True,
 ) -> VerificationReport:
-    """Run every triangulation path on *graph* and compare counts."""
-    report = VerificationReport()
-    report.counts["edge-iterator"] = edge_iterator(graph).triangles
-    report.counts["vertex-iterator"] = vertex_iterator(graph).triangles
-    report.counts["forward"] = forward(graph).triangles
-    report.counts["compact-forward"] = compact_forward(graph).triangles
-    report.counts["matrix"] = matrix_count(graph).triangles
-    report.counts["opt-parallel:w2"] = triangulate_parallel(
-        graph, workers=2
-    ).triangles
+    """Run every registered triangulation path on *graph*; compare counts."""
+    from repro.exec.registry import VerifyEnv, verification_methods
 
-    store = make_store(graph, page_size)
-    for plugin in ("edge-iterator", "vertex-iterator", "mgt"):
-        result = triangulate_disk(store, plugin=plugin,
-                                  buffer_pages=buffer_pages, cost=cost)
-        report.counts[f"opt:{plugin}"] = result.triangles
-
-    report.counts["cc-seq"] = cc_seq(
-        graph, buffer_pages=buffer_pages, page_size=page_size, cost=cost
-    ).triangles
-    report.counts["cc-ds"] = cc_ds(
-        graph, buffer_pages=buffer_pages, page_size=page_size, cost=cost
-    ).triangles
-    report.counts["graphchi"] = graphchi_tri(
-        graph, buffer_pages=buffer_pages, page_size=page_size, cost=cost
-    ).triangles
-
-    if include_threaded:
-        with tempfile.TemporaryDirectory() as directory:
-            result = triangulate_threaded(store, directory,
-                                          buffer_pages=buffer_pages)
-        report.counts["opt:threaded"] = result.triangles
+    env = VerifyEnv(page_size=page_size, buffer_pages=buffer_pages, cost=cost)
+    report = VerificationReport(oracle=ORACLE)
+    report.counts[ORACLE] = oracle_count(graph)
+    for name, runner in verification_methods(include_threaded=include_threaded):
+        report.counts[name] = runner(graph, env)
     return report

@@ -57,6 +57,26 @@ def clustered_graph(seeded_graph):
     return seeded_graph("holme_kim", 300, 6, 0.5, seed=6, ordering="natural")
 
 
+@pytest.fixture(scope="session")
+def graph_zoo():
+    """Factory over the named zoo in ``tests/zoo.py``, cached per session.
+
+    ``graph_zoo("star")`` returns the same object for every test, so
+    harnesses that sweep all members pay construction cost once.
+    """
+    from tests import zoo
+
+    cache: dict[tuple[str, int], object] = {}
+
+    def make(name: str, seed: int = 0):
+        key = (name, seed)
+        if key not in cache:
+            cache[key] = zoo.build(name, seed)
+        return cache[key]
+
+    return make
+
+
 def nx_triangle_count(graph):
     """Ground-truth triangle count via networkx."""
     import networkx as nx

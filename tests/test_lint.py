@@ -206,6 +206,32 @@ FIXTURES = {
                     segment.unlink()
         """,
     },
+    "engine-composition": {
+        "path": "repro/memory/edge_iterator.py",
+        "tp": """
+            from repro.memory.base import TriangulationResult
+
+            def rogue_engine(graph):
+                # Unregistered public entry point: returns a result the
+                # scenario matrix will never cross-check.
+                return TriangulationResult(triangles=0, cpu_ops=0)
+        """,
+        "tn": """
+            from repro.memory.base import TriangulationResult
+
+            def edge_iterator(graph) -> TriangulationResult:
+                # Registered in repro.exec.registry.REGISTERED_ENTRY_POINTS.
+                return _run(graph)
+
+            def _run(graph) -> TriangulationResult:
+                # Private helpers are exempt from registration.
+                return TriangulationResult(triangles=0, cpu_ops=0)
+
+            def degree_histogram(graph) -> dict:
+                # Non-engine public functions are out of scope.
+                return {}
+        """,
+    },
 }
 
 

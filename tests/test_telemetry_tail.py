@@ -1,0 +1,108 @@
+"""Torn-tail robustness of the telemetry reader and ``repro top``.
+
+A live ``--telemetry`` stream is read while the producer is mid-write,
+so the reader's contract is: a torn final line is *skipped*, never
+raised, and every complete record before it is returned.  These tests
+cut a real stream (produced by an actual ``triangulate --telemetry``
+run) at progressively nastier points — empty file, first line only,
+truncation inside the final record — and assert both the reader and the
+``repro top --once`` frame stay calm on each.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import read_telemetry_jsonl
+
+
+@pytest.fixture(scope="module")
+def telemetry_stream(tmp_path_factory):
+    """A real telemetry JSONL produced by a disk-method run."""
+    root = tmp_path_factory.mktemp("telemetry")
+    graph_path = root / "g.txt"
+    stream_path = root / "run.jsonl"
+    assert main(["generate", "--model", "rmat", "--vertices", "64",
+                 "--edges", "256", "--output", str(graph_path)]) == 0
+    assert main(["triangulate", "--input", str(graph_path), "--method",
+                 "opt", "--telemetry", str(stream_path)]) == 0
+    text = stream_path.read_text(encoding="utf-8")
+    lines = [line for line in text.splitlines() if line.strip()]
+    assert len(lines) >= 2, "need a multi-tick stream to truncate"
+    for line in lines:
+        json.loads(line)  # the fixture itself must be well-formed
+    return lines
+
+
+def _top_once(path) -> int:
+    return main(["top", str(path), "--once"])
+
+
+def test_empty_file(tmp_path, capsys):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("", encoding="utf-8")
+    assert read_telemetry_jsonl(path) == []
+    assert _top_once(path) == 0
+    assert "(no telemetry samples)" in capsys.readouterr().out
+
+
+def test_whitespace_only_file(tmp_path, capsys):
+    path = tmp_path / "blank.jsonl"
+    path.write_text("\n\n   \n", encoding="utf-8")
+    assert read_telemetry_jsonl(path) == []
+    assert _top_once(path) == 0
+    assert "(no telemetry samples)" in capsys.readouterr().out
+
+
+def test_first_line_only(tmp_path, telemetry_stream, capsys):
+    path = tmp_path / "head.jsonl"
+    path.write_text(telemetry_stream[0] + "\n", encoding="utf-8")
+    ticks = read_telemetry_jsonl(path)
+    assert len(ticks) == 1
+    assert ticks[0] == json.loads(telemetry_stream[0])
+    assert _top_once(path) == 0
+    assert "repro top" in capsys.readouterr().out
+
+
+def test_mid_record_truncation(tmp_path, telemetry_stream, capsys):
+    """A stream cut inside its final record drops exactly that record."""
+    lines = telemetry_stream
+    torn = lines[-1][: len(lines[-1]) // 2]
+    path = tmp_path / "torn.jsonl"
+    path.write_text("\n".join(lines[:-1]) + "\n" + torn, encoding="utf-8")
+    ticks = read_telemetry_jsonl(path)
+    assert len(ticks) == len(lines) - 1
+    assert ticks == [json.loads(line) for line in lines[:-1]]
+    assert _top_once(path) == 0
+    assert "repro top" in capsys.readouterr().out
+
+
+def test_torn_tail_completes_on_reread(tmp_path, telemetry_stream):
+    """Follow-mode semantics: once the producer finishes the line, the
+    previously-skipped record appears on the next poll."""
+    lines = telemetry_stream
+    split = len(lines[-1]) // 2
+    path = tmp_path / "follow.jsonl"
+    path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][:split],
+                    encoding="utf-8")
+    assert len(read_telemetry_jsonl(path)) == len(lines) - 1
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(lines[-1][split:] + "\n")
+    ticks = read_telemetry_jsonl(path)
+    assert len(ticks) == len(lines)
+    assert ticks[-1] == json.loads(lines[-1])
+
+
+def test_garbage_line_amid_stream(tmp_path, capsys):
+    """Non-JSON and non-dict lines are skipped wherever they appear."""
+    good = {"t": 1.0, "seq": 0, "counters": {}, "gauges": {},
+            "histograms": {}, "rates": {}}
+    path = tmp_path / "noise.jsonl"
+    path.write_text("not json at all\n" + json.dumps(good) + "\n"
+                    + json.dumps([1, 2, 3]) + "\n", encoding="utf-8")
+    ticks = read_telemetry_jsonl(path)
+    assert ticks == [good]
+    assert _top_once(path) == 0

@@ -26,6 +26,36 @@ class TestVerifier:
         assert not report.consistent
         assert report.disagreements() == {"c": 7}
 
+    def test_tie_break_is_deterministic_without_oracle(self):
+        # An even 2-2 split used to be resolved by hash order (the old
+        # ``max(set(values), key=values.count)``), so either side could
+        # be blamed from run to run.  Now the smallest tied count wins.
+        report = VerificationReport(counts={"a": 7, "b": 7, "c": 5, "d": 5})
+        assert report.disagreements() == {"a": 7, "b": 7}
+        # Order of insertion must not matter.
+        flipped = VerificationReport(counts={"c": 5, "a": 7, "d": 5, "b": 7})
+        assert flipped.disagreements() == {"a": 7, "b": 7}
+
+    def test_tie_break_prefers_the_oracle(self):
+        # When the brute-force oracle participates in a tie, its count
+        # is the majority — even when it is not the smallest value.
+        report = VerificationReport(
+            counts={"oracle": 7, "a": 7, "c": 5, "d": 5}, oracle="oracle")
+        assert report.disagreements() == {"c": 5, "d": 5}
+        # An oracle outside the tie changes nothing.
+        outvoted = VerificationReport(
+            counts={"oracle": 9, "a": 7, "b": 7, "c": 5, "d": 5},
+            oracle="oracle")
+        assert outvoted.disagreements() == {"oracle": 9, "a": 7, "b": 7}
+
+    def test_verify_methods_seeds_the_oracle(self, figure1):
+        report = verify_methods(figure1, page_size=128, buffer_pages=4,
+                                include_threaded=False)
+        assert report.oracle == "oracle"
+        assert report.counts["oracle"] == 5
+        # The composed exec witnesses participate in the sweep.
+        assert any(name.startswith("exec:") for name in report.counts)
+
     def test_empty_report(self):
         report = VerificationReport()
         assert report.consistent

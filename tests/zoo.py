@@ -1,0 +1,124 @@
+"""The seeded graph zoo: named small graphs with known shapes.
+
+One place to enumerate the inputs every differential harness should
+survive — the paper's worked example, random graphs with triangles, and
+the pathological shapes that historically break triangulation engines
+(empty input, a triangle-free star, disconnected dense components,
+duplicate edges that must collapse to one).
+
+``ZOO`` maps a stable name to a zero-argument builder; builders are
+deterministic (fixed seeds) so every test session sees identical
+graphs.  The scenario matrix parametrizes over :func:`zoo_names` and
+the ``graph_zoo`` fixture in ``conftest.py`` materializes members on
+demand, cached per session.
+"""
+
+from __future__ import annotations
+
+from repro.graph import generators
+from repro.graph.builder import from_edges
+from repro.graph.graph import Graph
+
+
+def _empty() -> Graph:
+    """No vertices, no edges — every engine must return zero, not crash."""
+    return from_edges([], num_vertices=0)
+
+
+def _isolated() -> Graph:
+    """Vertices but not a single edge (all-zero CSR rows)."""
+    return from_edges([], num_vertices=7)
+
+
+def _star() -> Graph:
+    """A 9-leaf star: many edges, zero triangles (hub never closes)."""
+    return generators.star_graph(10)
+
+
+def _path() -> Graph:
+    """A 12-vertex path — triangle-free with non-trivial adjacency."""
+    return from_edges([(u, u + 1) for u in range(11)], num_vertices=12)
+
+
+def _two_cliques() -> Graph:
+    """Two disconnected K5s: dense components a vertex split straddles."""
+    edges = []
+    for base in (0, 5):
+        for i in range(5):
+            for j in range(i + 1, 5):
+                edges.append((base + i, base + j))
+    return from_edges(edges, num_vertices=10)
+
+
+def _duplicate_edges() -> Graph:
+    """A triangle given with duplicate + reversed edges.
+
+    ``from_edges`` must collapse them; an engine that double-counts an
+    edge lists phantom triangles.
+    """
+    edges = [(0, 1), (1, 0), (0, 1), (1, 2), (2, 1), (0, 2), (2, 0),
+             (2, 3), (3, 2), (2, 3)]
+    return from_edges(edges, num_vertices=4)
+
+
+def _figure1() -> Graph:
+    """The paper's Figure 1 worked example (5 triangles)."""
+    return generators.figure1_graph()
+
+
+def _rmat_small() -> Graph:
+    """A seeded R-MAT graph: skewed degrees, plenty of triangles."""
+    return generators.rmat(128, 600, seed=11)
+
+
+def _holme_kim_small() -> Graph:
+    """A seeded Holme-Kim graph: high clustering coefficient."""
+    return generators.holme_kim(80, 4, 0.6, seed=3)
+
+
+#: name -> zero-argument deterministic builder.
+ZOO = {
+    "empty": _empty,
+    "isolated": _isolated,
+    "star": _star,
+    "path": _path,
+    "two-cliques": _two_cliques,
+    "dup-edges": _duplicate_edges,
+    "figure1": _figure1,
+    "rmat-small": _rmat_small,
+    "holme-kim-small": _holme_kim_small,
+}
+
+#: Members whose triangle count is known by construction, for harness
+#: self-checks (the oracle must reproduce these exactly).
+KNOWN_COUNTS = {
+    "empty": 0,
+    "isolated": 0,
+    "star": 0,
+    "path": 0,
+    "two-cliques": 20,   # 2 * C(5, 3)
+    "dup-edges": 1,
+    "figure1": 5,
+}
+
+
+#: Members that exist as a seeded family: ``seed`` shifts the base seed
+#: so the scenario matrix can sweep several instances of each random
+#: shape.  Seed 0 is always identical to the plain ``ZOO`` builder.
+SEEDED = {
+    "rmat-small": lambda seed: generators.rmat(128, 600, seed=11 + seed),
+    "holme-kim-small": lambda seed: generators.holme_kim(80, 4, 0.6,
+                                                         seed=3 + seed),
+}
+
+
+def zoo_names() -> list[str]:
+    """Stable ordering for parametrization."""
+    return list(ZOO)
+
+
+def build(name: str, seed: int = 0) -> Graph:
+    """Build a zoo member; *seed* > 0 varies the random families."""
+    if seed and name in SEEDED:
+        return SEEDED[name](seed)
+    return ZOO[name]()
