@@ -9,6 +9,12 @@ run-to-run perf comparisons never silently break.  It runs three ways:
   collection via its test function);
 * from the tier-1 suite via ``tests/test_report_schema.py``, which
   imports :func:`validate_results_dir` directly.
+
+Beyond the RunReport payloads it also covers the profiler's artifacts:
+an embedded ``derived.attribution`` snapshot validates against the
+attribution schema, ``PROFILE_*.speedscope.json`` flame profiles against
+the speedscope format, and ``*perf_history*.jsonl`` indexes against the
+perf-history record schema.
 """
 
 from __future__ import annotations
@@ -17,7 +23,12 @@ import json
 import sys
 from pathlib import Path
 
-from repro.obs import validate_report_dict
+from repro.obs import (
+    validate_attribution_dict,
+    validate_report_dict,
+    validate_speedscope,
+)
+from repro.obs.history import validate_history_file
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -25,6 +36,26 @@ RESULTS_DIR = Path(__file__).parent / "results"
 def bench_report_paths(results_dir: str | Path = RESULTS_DIR) -> list[Path]:
     """Every ``BENCH_*.json`` trajectory file under *results_dir*."""
     return sorted(Path(results_dir).glob("BENCH_*.json"))
+
+
+def profile_paths(results_dir: str | Path = RESULTS_DIR) -> list[Path]:
+    """Every ``PROFILE_*.speedscope.json`` flame profile artifact."""
+    return sorted(Path(results_dir).glob("PROFILE_*.speedscope.json"))
+
+
+def history_paths(results_dir: str | Path = RESULTS_DIR) -> list[Path]:
+    """Every perf-history JSONL index under *results_dir*."""
+    return sorted(Path(results_dir).glob("*perf_history*.jsonl"))
+
+
+def validate_profile_file(path: str | Path) -> list[str]:
+    """Speedscope-schema errors in one flame profile (empty = valid)."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        return [f"{path.name}: not JSON: {exc}"]
+    return [f"{path.name}: {error}" for error in validate_speedscope(data)]
 
 
 def validate_file(path: str | Path) -> list[str]:
@@ -53,15 +84,30 @@ def validate_file(path: str | Path) -> list[str]:
             validate_report_dict(payload)
         except ValueError as exc:
             errors.append(f"{path.name}[{index}]: {exc}")
+        attribution = (payload.get("derived", {}).get("attribution")
+                       if isinstance(payload, dict) else None)
+        if attribution is not None:
+            errors.extend(
+                f"{path.name}[{index}].derived.attribution: {error}"
+                for error in validate_attribution_dict(attribution))
     if not payloads:
         errors.append(f"{path.name}: contains no reports")
     return errors
 
 
 def validate_results_dir(results_dir: str | Path = RESULTS_DIR) -> dict[str, list[str]]:
-    """Map of file name -> schema errors, for every trajectory file."""
-    return {path.name: validate_file(path)
-            for path in bench_report_paths(results_dir)}
+    """Map of file name -> schema errors, for every artifact file.
+
+    Covers the RunReport trajectories, the speedscope flame profiles,
+    and any perf-history indexes living under *results_dir*.
+    """
+    checked = {path.name: validate_file(path)
+               for path in bench_report_paths(results_dir)}
+    checked.update({path.name: validate_profile_file(path)
+                    for path in profile_paths(results_dir)})
+    checked.update({path.name: validate_history_file(path)
+                    for path in history_paths(results_dir)})
+    return checked
 
 
 def test_bench_reports_match_schema():

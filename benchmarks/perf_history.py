@@ -1,0 +1,148 @@
+"""Maintain the cross-run perf history index from BENCH reports.
+
+The CI analogue of ``repro perf``: ingest fresh ``BENCH_*.json``
+artifacts into the append-only JSONL index
+(:class:`repro.obs.history.PerfHistory`), print bench trajectories, and
+fail the build on a regression against the best-of-history baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_history.py ingest \
+        --index perf_history.jsonl benchmarks/results/BENCH_*.json
+    PYTHONPATH=src python benchmarks/perf_history.py trend \
+        --index perf_history.jsonl [BENCH ...]
+    PYTHONPATH=src python benchmarks/perf_history.py check \
+        --index perf_history.jsonl FRESH.json [--threshold 0.20] \
+        [--against best|latest]
+
+``ingest`` resolves the current git revision automatically (override
+with ``--rev``); re-ingesting an already-indexed ``(bench, metric, rev,
+value)`` tuple is a no-op, so the step is idempotent in retried CI jobs.
+``check`` exits 1 on regression, 2 on usage errors — the same contract
+as ``compare_reports.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.obs.history import (
+    DEFAULT_THRESHOLD,
+    PerfHistory,
+    bench_name_of,
+    render_trend,
+)
+
+
+def current_git_rev(cwd: str | Path | None = None) -> str:
+    """The short HEAD revision, or ``"unknown"`` outside a work tree."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    history = PerfHistory(args.index)
+    rev = args.rev or current_git_rev()
+    ingested = skipped = 0
+    for path in args.reports:
+        path = Path(path)
+        if not path.exists():
+            print(f"error: {path}: does not exist", file=sys.stderr)
+            return 2
+        record = history.ingest_file(path, git_rev=rev)
+        if record is None:
+            skipped += 1
+            print(f"skipped     {path.name} (no headline or already indexed)")
+        else:
+            ingested += 1
+            print(f"ingested    {record.bench}  {record.metric}="
+                  f"{record.value:.6f}s @ {record.git_rev} "
+                  f"(seq {record.seq})")
+    print(f"{ingested} ingested, {skipped} skipped -> {args.index}")
+    return 0
+
+
+def cmd_trend(args: argparse.Namespace) -> int:
+    history = PerfHistory(args.index)
+    benches = args.benches or history.benches()
+    if not benches:
+        print("no history; run `ingest` first")
+        return 0
+    for bench in benches:
+        print(render_trend(history, bench))
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    history = PerfHistory(args.index)
+    fresh = Path(args.fresh)
+    if not fresh.exists():
+        print(f"error: {fresh}: does not exist", file=sys.stderr)
+        return 2
+    import json
+
+    text = fresh.read_text(encoding="utf-8")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        # JSONL trajectory: judge the final report.
+        payload = json.loads(text.strip().splitlines()[-1])
+    verdict = history.check(payload, bench=bench_name_of(fresh),
+                            against=args.against,
+                            threshold=args.threshold)
+    status = verdict["status"]
+    if status in ("no-headline", "no-history"):
+        print(f"{status:12s}{verdict['bench']}")
+        return 0
+    print(f"{status:12s}{verdict['bench']}  {verdict['metric']}: "
+          f"best-of-history {verdict['baseline']:.6f}s "
+          f"(@ {verdict['baseline_rev']}) -> {verdict['fresh']:.6f}s "
+          f"(x{verdict['ratio']:.3f}, limit x{1 + verdict['threshold']:.2f})")
+    return 1 if status == "regressed" else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="ingest, trend, and regression-check BENCH reports "
+                    "against the cross-run perf history index")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ingest = sub.add_parser("ingest", help="append BENCH report headlines")
+    ingest.add_argument("reports", nargs="+", help="BENCH_*.json files")
+    ingest.add_argument("--index", default="perf_history.jsonl",
+                        help="history JSONL index path")
+    ingest.add_argument("--rev", default=None,
+                        help="git revision label (default: current HEAD)")
+    ingest.set_defaults(func=cmd_ingest)
+
+    trend = sub.add_parser("trend", help="print bench trajectories")
+    trend.add_argument("benches", nargs="*", help="bench names (default all)")
+    trend.add_argument("--index", default="perf_history.jsonl")
+    trend.set_defaults(func=cmd_trend)
+
+    check = sub.add_parser("check", help="fail on regression vs history")
+    check.add_argument("fresh", help="fresh BENCH_*.json report")
+    check.add_argument("--index", default="perf_history.jsonl")
+    check.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                       help="allowed slowdown fraction (default 0.20)")
+    check.add_argument("--against", choices=("best", "latest"),
+                       default="best",
+                       help="baseline: best-of-history or latest ingest")
+    check.set_defaults(func=cmd_check)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

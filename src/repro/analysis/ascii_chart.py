@@ -8,6 +8,7 @@ figure, not only its numbers.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 __all__ = ["bar_chart", "series_chart", "sparkline"]
@@ -95,6 +96,9 @@ def sparkline(values: Sequence[float], *, width: int | None = None) -> str:
     With *width* set, the most recent ``width`` values are shown (live
     views want the trailing window).  A flat series renders at the lowest
     tick so a sparkline of constants is visibly "flat", not empty.
+    Non-finite values (NaN, ±inf — torn telemetry ticks, div-by-zero
+    rates) render as ``·`` and are excluded from the scale instead of
+    poisoning it.
     """
     if width is not None:
         if width < 1:
@@ -102,16 +106,22 @@ def sparkline(values: Sequence[float], *, width: int | None = None) -> str:
         values = values[-width:]
     if not values:
         return ""
-    lo = min(values)
-    hi = max(values)
+    finite = [value for value in values if math.isfinite(value)]
+    if not finite:
+        return "·" * len(values)
+    lo = min(finite)
+    hi = max(finite)
     span = hi - lo
-    if span <= 0:
-        return _SPARK_TICKS[0] * len(values)
     top = len(_SPARK_TICKS) - 1
-    return "".join(
-        _SPARK_TICKS[min(top, round((value - lo) / span * top))]
-        for value in values
-    )
+    out = []
+    for value in values:
+        if not math.isfinite(value):
+            out.append("·")
+        elif span <= 0:
+            out.append(_SPARK_TICKS[0])
+        else:
+            out.append(_SPARK_TICKS[min(top, round((value - lo) / span * top))])
+    return "".join(out)
 
 
 def _fit(x: float) -> str:

@@ -43,6 +43,17 @@ Static analysis: ``lint`` runs the project-specific AST rules (lockset
 checker, sim-purity, obs-vocabulary conformance, ...) over the tree —
 the same gate as ``python -m repro.lint``; see
 ``docs/static-analysis.md``.
+
+Performance attribution: ``profile`` runs a method with the
+cost-attribution table enabled and renders where the Eq. 3 operations go
+— ``--format table`` (ASCII, ops share per ``(phase, kernel, source,
+degree-bucket)`` cell), ``collapsed`` (flame-graph collapsed stacks), or
+``speedscope`` (a speedscope.app-loadable JSON document).  ``--sample``
+additionally runs the wall stack sampler and reports its overhead.
+``perf`` maintains the cross-run history index: ``perf ingest`` appends
+``BENCH_*.json`` headlines, ``perf trend`` prints sparkline
+trajectories, ``perf check`` exits non-zero on a regression against the
+best-of-history baseline — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -586,6 +597,160 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.obs import (
+        Attribution,
+        StackSampler,
+        collapsed_text,
+        render_attribution,
+        to_speedscope,
+        write_speedscope,
+    )
+
+    graph = _load_graph(args)
+    attribution = Attribution()
+    method = args.method
+    sampler = None
+    if args.sample:
+        sampler = StackSampler(interval=args.sample_interval)
+        sampler.start()
+    try:
+        if method in ("opt", "opt-vi", "mgt"):
+            from repro.core import make_store, triangulate_disk
+
+            plugin = {"opt": "edge-iterator", "opt-vi": "vertex-iterator",
+                      "mgt": "mgt"}[method]
+            store = make_store(graph, args.page_size)
+            result = triangulate_disk(store, plugin=plugin,
+                                      buffer_ratio=args.buffer_ratio,
+                                      attribution=attribution)
+        elif method == "opt-parallel":
+            from repro.parallel import triangulate_parallel
+
+            result = triangulate_parallel(graph, workers=args.workers,
+                                          attribution=attribution)
+        else:  # compose
+            from repro.errors import ConfigurationError
+            from repro.exec import compose
+
+            try:
+                engine = compose(args.source, args.kernel, args.executor,
+                                 graph=graph, workers=args.workers,
+                                 page_size=args.page_size)
+            except ConfigurationError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            result = engine.run(attribution=attribution)
+            method = f"compose:{engine.describe()}"
+    finally:
+        if sampler is not None:
+            sampler.stop()
+
+    # Without --sample the flame output weights stacks by Eq. 3 op
+    # charges (byte-deterministic); with it, by wall stack samples.
+    stacks = sampler.collapsed() if sampler is not None \
+        else attribution.collapsed()
+    unit = "none"
+    title = f"{method} on {args.dataset or args.input}"
+
+    def _emit(text: str) -> None:
+        if args.output:
+            Path(args.output).write_text(text + "\n", encoding="utf-8")
+            print(f"wrote {args.format} profile to {args.output}")
+        else:
+            print(text)
+
+    if args.format == "table":
+        _emit(render_attribution(attribution))
+        summary = (f"{title}: {result.triangles} triangles, "
+                   f"{attribution.total_ops} attributed ops over "
+                   f"{len(attribution)} cells")
+        if sampler is not None:
+            summary += (f"; {sampler.samples} wall samples @ "
+                        f"{args.sample_interval * 1000:.1f}ms "
+                        f"({sampler.overhead_seconds:.4f}s sampler overhead)")
+        print(summary)
+    elif args.format == "collapsed":
+        _emit(collapsed_text(stacks))
+    else:  # speedscope
+        doc = to_speedscope(stacks, name=title, unit=unit)
+        out = args.output or "profile.speedscope.json"
+        path = write_speedscope(out, doc)
+        print(f"wrote speedscope profile to {path} "
+              f"(open at https://www.speedscope.app)")
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    import json as _json
+    import subprocess
+
+    from repro.obs import MetricsRegistry, PerfHistory, render_trend
+    from repro.obs.history import bench_name_of
+
+    history = PerfHistory(args.index)
+    if args.perf_command == "ingest":
+        rev = args.rev
+        if rev is None:
+            try:
+                out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                                     capture_output=True, text=True,
+                                     timeout=10)
+                rev = out.stdout.strip() if out.returncode == 0 else ""
+            except (OSError, subprocess.TimeoutExpired):
+                rev = ""
+            rev = rev or "unknown"
+        registry = MetricsRegistry()
+        ingested = skipped = 0
+        for report in args.reports:
+            path = Path(report)
+            if not path.exists():
+                print(f"error: {path}: does not exist", file=sys.stderr)
+                return 1
+            record = history.ingest_file(path, git_rev=rev,
+                                         registry=registry)
+            if record is None:
+                skipped += 1
+                print(f"skipped   {path.name}")
+            else:
+                ingested += 1
+                print(f"ingested  {record.bench}  {record.metric}="
+                      f"{record.value:.6f}s @ {record.git_rev}")
+        print(f"{ingested} ingested, {skipped} skipped -> {args.index}")
+        return 0
+    if args.perf_command == "trend":
+        benches = args.benches or history.benches()
+        if not benches:
+            print(f"no history in {args.index}; run `perf ingest` first")
+            return 0
+        for bench in benches:
+            print(render_trend(history, bench))
+        return 0
+    # check
+    fresh = Path(args.fresh)
+    if not fresh.exists():
+        print(f"error: {fresh}: does not exist", file=sys.stderr)
+        return 1
+    text = fresh.read_text(encoding="utf-8")
+    try:
+        payload = _json.loads(text)
+    except _json.JSONDecodeError:
+        # JSONL trajectory: judge the final report.
+        lines = [ln for ln in text.splitlines() if ln.strip()]
+        payload = _json.loads(lines[-1])
+    verdict = history.check(payload, bench=bench_name_of(fresh),
+                            against=args.against, threshold=args.threshold)
+    status = verdict["status"]
+    if status in ("no-headline", "no-history"):
+        print(f"{status}: {verdict['bench']} (nothing to compare)")
+        return 0
+    print(f"{status:10s}{verdict['bench']}  {verdict['metric']}: "
+          f"{verdict['against']}-of-history {verdict['baseline']:.6f}s "
+          f"(@ {verdict['baseline_rev']}) -> {verdict['fresh']:.6f}s "
+          f"(x{verdict['ratio']:.3f}, limit x{1 + verdict['threshold']:.2f})")
+    return 1 if status == "regressed" else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="opt-repro",
@@ -766,6 +931,71 @@ def build_parser() -> argparse.ArgumentParser:
     met = sub.add_parser("metrics", help="triangle-derived network metrics")
     add_input_args(met)
     met.set_defaults(func=_cmd_metrics)
+
+    pro = sub.add_parser("profile",
+                         help="run a method with cost attribution: where do "
+                              "the Eq. 3 ops go, by (phase, kernel, source, "
+                              "degree bucket)")
+    add_input_args(pro)
+    pro.add_argument("--method", default="compose",
+                     choices=["opt", "opt-vi", "mgt", "opt-parallel",
+                              "compose"],
+                     help="attribution-instrumented engine to profile")
+    pro.add_argument("--source", default="memory",
+                     choices=["memory", "shm", "disk"],
+                     help="graph source for --method compose")
+    pro.add_argument("--kernel", default="hash",
+                     choices=["hash", "merge", "gallop", "bitmap"],
+                     help="intersection kernel for --method compose")
+    pro.add_argument("--executor", default="serial",
+                     choices=["serial", "threaded", "process"],
+                     help="execution strategy for --method compose")
+    pro.add_argument("--buffer-ratio", type=float, default=0.15)
+    pro.add_argument("--page-size", type=int, default=4096)
+    pro.add_argument("--workers", type=int, default=2,
+                     help="worker count for opt-parallel / threaded / "
+                          "process executors")
+    pro.add_argument("--format", choices=["table", "collapsed", "speedscope"],
+                     default="table",
+                     help="ASCII table, flame-graph collapsed stacks, or a "
+                          "speedscope.app JSON document")
+    pro.add_argument("--output", default=None, metavar="OUT",
+                     help="write the rendered profile here instead of stdout "
+                          "(speedscope default: profile.speedscope.json)")
+    pro.add_argument("--sample", action="store_true",
+                     help="also run the wall-clock stack sampler; collapsed/"
+                          "speedscope output then weights stacks by wall "
+                          "samples instead of op charges")
+    pro.add_argument("--sample-interval", type=float, default=0.005,
+                     help="sampler period in seconds (default 5ms)")
+    pro.set_defaults(func=_cmd_profile)
+
+    perf = sub.add_parser("perf",
+                          help="cross-run perf history: ingest BENCH "
+                               "reports, print trends, check regressions")
+    perf.add_argument("--index", default="perf_history.jsonl",
+                      help="append-only history JSONL index path")
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    ping = perf_sub.add_parser("ingest",
+                               help="append BENCH report headline metrics")
+    ping.add_argument("reports", nargs="+", metavar="BENCH.json",
+                      help="BENCH_*.json report files")
+    ping.add_argument("--rev", default=None,
+                      help="git revision label (default: current HEAD)")
+    ptre = perf_sub.add_parser("trend",
+                               help="sparkline trajectory per bench")
+    ptre.add_argument("benches", nargs="*",
+                      help="bench names (default: all indexed)")
+    pchk = perf_sub.add_parser("check",
+                               help="fail on regression vs history baseline")
+    pchk.add_argument("fresh", metavar="BENCH.json",
+                      help="fresh report to judge")
+    pchk.add_argument("--threshold", type=float, default=0.20,
+                      help="allowed slowdown fraction (default 0.20)")
+    pchk.add_argument("--against", choices=["best", "latest"],
+                      default="best",
+                      help="baseline: best-of-history or latest ingest")
+    perf.set_defaults(func=_cmd_perf)
     return parser
 
 

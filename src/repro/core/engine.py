@@ -100,6 +100,7 @@ def triangulate_disk(
     checkpoint: RunCheckpoint | None = None,
     trace: EventTracer | None = None,
     telemetry: TelemetrySampler | None = None,
+    attribution=None,
 ) -> TriangulationResult:
     """Run disk-based OPT triangulation end to end.
 
@@ -149,6 +150,12 @@ def triangulate_disk(
         byte-deterministic JSONL tick stream (``repro triangulate
         --telemetry``); see :mod:`repro.obs.telemetry`.
 
+    attribution:
+        An :class:`~repro.obs.attribution.Attribution`, forwarded to
+        :func:`~repro.core.framework.run_opt`: candidate / external /
+        internal op charges land in degree-bucketed cells under the
+        plugin's name and source ``disk`` (``repro profile``).
+
     Returns a :class:`TriangulationResult` whose ``elapsed`` is the
     simulated wall time and whose ``extra`` carries the trace and the
     scheduler result for deeper analysis.
@@ -183,7 +190,7 @@ def triangulate_disk(
     trace = run_opt(store, config, sink=sink, report=report,
                     fault_plan=fault_plan, retry_policy=retry_policy,
                     checkpoint=checkpoint, tracer=tracer,
-                    telemetry=telemetry)
+                    telemetry=telemetry, attribution=attribution)
     if report is not None:
         with report.span("replay", cores=cores):
             sim = simulate(trace, cost, cores=cores, morphing=morphing,

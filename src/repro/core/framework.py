@@ -16,6 +16,7 @@ separation is what makes a single execution serve a whole speed-up curve.
 
 from __future__ import annotations
 
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -104,6 +105,7 @@ def run_opt(
     checkpoint: RunCheckpoint | None = None,
     tracer: EventTracer | None = None,
     telemetry: TelemetrySampler | None = None,
+    attribution=None,
 ) -> RunTrace:
     """Run OPT over *store* and return the trace (with real triangles).
 
@@ -149,6 +151,14 @@ def run_opt(
     the iteration *ordinal* (``t = 0, 1, 2, ...``) so its JSONL stream
     is byte-deterministic; a wall-clock sampler ticks rate-limited by
     its interval.
+
+    With an :class:`~repro.obs.attribution.Attribution` *attribution*,
+    every plugin op charge lands in a ``(phase, plugin, disk,
+    degree-bucket)`` cell — phases ``candidate`` / ``external`` /
+    ``internal`` (Algorithms 7 / 9 / 5), degree bucketed by the record's
+    neighbor-fragment length — and each phase's wall time is attributed
+    at phase granularity.  Per-bucket op sums conserve the trace's
+    ``candidate_ops`` / ``external_ops`` / ``internal_ops`` exactly.
     """
     if sink is None:
         sink = CountSink()
@@ -162,6 +172,15 @@ def run_opt(
         telemetry.bind(report.registry if report is not None
                        else MetricsRegistry())
     plugin = config.plugin
+    if attribution is not None:
+        attr_candidate = attribution.scope(
+            phase="candidate", kernel=plugin.name, source="disk")
+        attr_external = attribution.scope(
+            phase="external", kernel=plugin.name, source="disk")
+        attr_internal = attribution.scope(
+            phase="internal", kernel=plugin.name, source="disk")
+    else:
+        attr_candidate = attr_external = attr_internal = None
     reader: RecoveringLoader | None = None
     loader = store.decode_page
     if fault_plan is not None:
@@ -246,13 +265,20 @@ def run_opt(
 
                 # -- candidate identification (Algorithm 7 per record) -------
                 with _span(report, "identify-candidates"):
+                    phase_started = time.perf_counter()
                     for records in chunk_records:
                         for record in records:
                             candidates, ops = plugin.candidates_for_record(
                                 ctx, record)
                             iteration.candidate_ops += ops
+                            if attr_candidate is not None:
+                                attr_candidate.charge(
+                                    len(record.neighbors), ops)
                             for candidate in candidates:
                                 ctx.add_request(int(candidate), record.vertex)
+                    if attr_candidate is not None:
+                        attr_candidate.charge_time(
+                            time.perf_counter() - phase_started)
 
                     # -- build the request list (Algorithm 4) ----------------
                     if plugin.rescan_all:
@@ -275,6 +301,7 @@ def run_opt(
                 if report is not None:
                     sink.phase = "external"
                 with _span(report, "external-triangulation"):
+                    phase_started = time.perf_counter()
                     for page_id in ordered:
                         hit = page_id in buffer
                         frame = buffer.get(page_id, pin=True)
@@ -282,23 +309,46 @@ def run_opt(
                         ops = 0
                         for record in frame.records:
                             if record.vertex in ctx.requesters:
-                                ops += plugin.external_ops_for_record(
+                                record_ops = plugin.external_ops_for_record(
                                     ctx, record)
+                                ops += record_ops
+                                if attr_external is not None:
+                                    attr_external.charge(
+                                        len(record.neighbors), record_ops)
                         buffer.unpin(page_id)
                         buffered = hit and not plugin.rescan_all
                         iteration.external_reads.append(
                             ExternalRead(pid=page_id, cpu_ops=ops,
                                          buffered=buffered, delay=delay)
                         )
+                    if attr_external is not None:
+                        attr_external.charge_time(
+                            time.perf_counter() - phase_started)
 
                 # -- internal triangulation (Algorithm 5, per page) ----------
                 if report is not None:
                     sink.phase = "internal"
                 with _span(report, "internal-triangulation"):
+                    phase_started = time.perf_counter()
                     for records in chunk_records:
-                        iteration.internal_page_ops.append(
-                            plugin.internal_ops_for_page(ctx, records)
-                        )
+                        if attr_internal is None:
+                            page_ops = plugin.internal_ops_for_page(
+                                ctx, records)
+                        else:
+                            # Every plugin processes records independently,
+                            # so per-record calls sum to the page call —
+                            # same trace, but degree-bucketed attribution.
+                            page_ops = 0
+                            for record in records:
+                                record_ops = plugin.internal_ops_for_page(
+                                    ctx, [record])
+                                attr_internal.charge(
+                                    len(record.neighbors), record_ops)
+                                page_ops += record_ops
+                        iteration.internal_page_ops.append(page_ops)
+                    if attr_internal is not None:
+                        attr_internal.charge_time(
+                            time.perf_counter() - phase_started)
 
                 # -- unpin the chunk (Algorithm 3 lines 12-13) ---------------
                 for page_id in chunk_pages:

@@ -69,29 +69,65 @@ def run_range(
     lo: int,
     hi: int,
     collect: bool,
+    scope=None,
 ) -> tuple[int, int, list[Group]]:
     """EdgeIterator≻ over ``[lo, hi)`` through one kernel binding.
 
     Charges exactly what the historical serial edge iterator charges for
     the same vertices: one kernel invocation per edge ``(u, v)`` with
     ``u`` in range, including pairs with empty intersections.
+
+    *scope* is an optional
+    :class:`~repro.obs.attribution.AttributionScope`; when given, every
+    pair's op charge additionally lands in the degree bucket of
+    ``min(|n_succ(u)|, |n_succ(v)|)`` — the probed side, the quantity
+    Eq. 3 charges — so the attribution table's per-bucket sums conserve
+    the returned ``ops`` exactly.
     """
     triangles = 0
     ops = 0
     groups: list[Group] = []
+    # Per-bucket accumulator (bit_length -> [pairs, ops, triangles]):
+    # plain dict updates in the pair loop, one bulk charge at the end —
+    # a method call per pair would dominate the attributed run.
+    counts: dict[int, list[int]] = {}
     for u in range(lo, hi):
         succ_u = handle.succ(u)
-        if len(succ_u) == 0:
+        deg_u = len(succ_u)
+        if deg_u == 0:
             continue
         prepped = binding.prep(succ_u)
-        for v in succ_u:
-            v = int(v)
-            common, pair_ops = binding.intersect(prepped, handle.succ(v))
-            ops += pair_ops
-            if len(common):
-                triangles += len(common)
-                if collect:
-                    groups.append((u, v, tuple(int(w) for w in common)))
+        if scope is None:
+            for v in succ_u:
+                v = int(v)
+                common, pair_ops = binding.intersect(prepped, handle.succ(v))
+                ops += pair_ops
+                if len(common):
+                    triangles += len(common)
+                    if collect:
+                        groups.append(
+                            (u, v, tuple(int(w) for w in common)))
+        else:
+            for v in succ_u:
+                v = int(v)
+                succ_v = handle.succ(v)
+                common, pair_ops = binding.intersect(prepped, succ_v)
+                ops += pair_ops
+                found = len(common)
+                length = min(deg_u, len(succ_v)).bit_length()
+                cell = counts.get(length)
+                if cell is None:
+                    cell = counts[length] = [0, 0, 0]
+                cell[0] += 1
+                cell[1] += pair_ops
+                cell[2] += found
+                if found:
+                    triangles += found
+                    if collect:
+                        groups.append(
+                            (u, v, tuple(int(w) for w in common)))
+    if scope is not None and counts:
+        scope.charge_lengths(counts)
     return triangles, ops, groups
 
 
@@ -112,18 +148,26 @@ class Engine:
         return "+".join(self.cell)
 
     def run(self, sink: TriangleSink | None = None, *,
-            report=None) -> TriangulationResult:
+            report=None, attribution=None) -> TriangulationResult:
         """Execute the composition; list to *sink* when given.
 
         With a :class:`~repro.obs.RunReport`, per-axis labelled counters
         (``exec.triangles`` / ``exec.ops`` / ``exec.chunks``) land in its
-        registry so cross-cell comparisons can slice by any axis.
+        registry so cross-cell comparisons can slice by any axis.  With
+        an :class:`~repro.obs.attribution.Attribution`, every pair's op
+        charge lands in its ``(exec, kernel, source, degree-bucket)``
+        cell and the engine's wall time is attributed to the same
+        coordinate — per-bucket ops sum exactly to ``exec.ops``.
         """
         collect = sink is not None
         started = time.perf_counter()
         outcome = self.executor.execute(self.source, self.kernel,
-                                        collect=collect)
+                                        collect=collect,
+                                        attribution=attribution)
         elapsed = time.perf_counter() - started
+        if attribution is not None:
+            attribution.scope(phase="exec", kernel=self.kernel.name,
+                              source=self.source.name).charge_time(elapsed)
         if sink is not None:
             for u, v, ws in outcome.groups:
                 sink.emit(u, v, list(ws))

@@ -39,6 +39,19 @@ def _merge_io(totals: dict[str, int], stats: dict[str, int]) -> None:
         totals[key] = totals.get(key, 0) + int(value)
 
 
+def _scope_for(attribution, source: Source, kernel: Kernel):
+    """The ``(exec, kernel, source)`` charging scope, or ``None``.
+
+    Every executor charges the same coordinate, so the merged table is
+    identical across the executor axis — the attribution analogue of the
+    triangles/ops invariance the scenario matrix pins.
+    """
+    if attribution is None:
+        return None
+    return attribution.scope(phase="exec", kernel=kernel.name,
+                             source=source.name)
+
+
 class SerialExecutor:
     """The whole vertex range in one in-process loop."""
 
@@ -46,11 +59,12 @@ class SerialExecutor:
     requires_shareable = False
 
     def execute(self, source: Source, kernel: Kernel, *,
-                collect: bool) -> EngineOutcome:
+                collect: bool, attribution=None) -> EngineOutcome:
         with source.open() as handle:
             binding = kernel.bind(handle.num_vertices)
             triangles, ops, groups = run_range(
-                handle, binding, 0, handle.num_vertices, collect)
+                handle, binding, 0, handle.num_vertices, collect,
+                scope=_scope_for(attribution, source, kernel))
             return EngineOutcome(triangles=triangles, cpu_ops=ops,
                                  groups=groups, chunks=1,
                                  io=dict(handle.io_stats()))
@@ -68,7 +82,9 @@ class ThreadedExecutor:
         self.workers = workers
 
     def execute(self, source: Source, kernel: Kernel, *,
-                collect: bool) -> EngineOutcome:
+                collect: bool, attribution=None) -> EngineOutcome:
+        from repro.obs.attribution import Attribution
+
         with source.open() as handle:
             ranges = split_ranges(handle.num_vertices,
                                   self.workers * OVERSUBSCRIPTION)
@@ -80,24 +96,38 @@ class ThreadedExecutor:
                 lo, hi = bounds
                 local = handle.fork_local()
                 binding = kernel.bind(num_vertices)
-                triangles, ops, groups = run_range(local, binding, lo, hi,
-                                                   collect)
-                return triangles, ops, groups, local.io_stats()
+                # Each task charges its own table; the parent folds them
+                # in range order — integer cells sum, so the merged
+                # table is independent of scheduling and worker count.
+                table = Attribution() if attribution is not None else None
+                triangles, ops, groups = run_range(
+                    local, binding, lo, hi, collect,
+                    scope=_scope_for(table, source, kernel))
+                return triangles, ops, groups, local.io_stats(), table
 
             outcome = EngineOutcome(chunks=len(ranges))
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                for triangles, ops, groups, stats in pool.map(job, ranges):
+                for triangles, ops, groups, stats, table in pool.map(job,
+                                                                     ranges):
                     outcome.triangles += triangles
                     outcome.cpu_ops += ops
                     outcome.groups.extend(groups)
                     _merge_io(outcome.io, stats)
+                    if table is not None:
+                        attribution.merge(table)
             return outcome
 
 
-def _process_job(args) -> tuple[int, int, list]:
-    """Forked worker body: attach, run one range, detach."""
-    csr_handle, kernel_name, lo, hi, collect = args
+def _process_job(args) -> tuple[int, int, list, dict | None]:
+    """Forked worker body: attach, run one range, detach.
+
+    *attr_source* is the source name to attribute under, or ``None``
+    when the parent did not ask for attribution; the worker's table
+    crosses the process boundary as a plain-dict snapshot.
+    """
+    csr_handle, kernel_name, lo, hi, collect, attr_source = args
     from repro.exec import registry
+    from repro.obs.attribution import Attribution
     from repro.parallel.shm import SharedCSR
 
     shared = SharedCSR.attach(csr_handle)
@@ -106,7 +136,14 @@ def _process_job(args) -> tuple[int, int, list]:
         graph = shared.graph()
         kernel = registry.make_kernel(kernel_name)
         binding = kernel.bind(graph.num_vertices)
-        return run_range(_AttachedHandle(graph), binding, lo, hi, collect)
+        table = Attribution() if attr_source is not None else None
+        scope = (table.scope(phase="exec", kernel=kernel_name,
+                             source=attr_source)
+                 if table is not None else None)
+        triangles, ops, groups = run_range(_AttachedHandle(graph), binding,
+                                           lo, hi, collect, scope=scope)
+        snapshot = table.snapshot() if table is not None else None
+        return triangles, ops, groups, snapshot
     finally:
         # Views into the shared buffers must die before close().
         graph = None
@@ -139,7 +176,7 @@ class ProcessExecutor:
         self.workers = workers
 
     def execute(self, source: Source, kernel: Kernel, *,
-                collect: bool) -> EngineOutcome:
+                collect: bool, attribution=None) -> EngineOutcome:
         import multiprocessing as mp
 
         with source.open() as handle:
@@ -153,14 +190,18 @@ class ProcessExecutor:
                                   self.workers * OVERSUBSCRIPTION)
             if not ranges:
                 return EngineOutcome(io=dict(handle.io_stats()))
-            jobs = [(csr_handle, kernel.name, lo, hi, collect)
+            attr_source = source.name if attribution is not None else None
+            jobs = [(csr_handle, kernel.name, lo, hi, collect, attr_source)
                     for lo, hi in ranges]
             ctx = mp.get_context("fork")
             outcome = EngineOutcome(chunks=len(ranges))
             with ctx.Pool(processes=min(self.workers, len(jobs))) as pool:
-                for triangles, ops, groups in pool.map(_process_job, jobs):
+                for triangles, ops, groups, snapshot in pool.map(_process_job,
+                                                                 jobs):
                     outcome.triangles += triangles
                     outcome.cpu_ops += ops
                     outcome.groups.extend(groups)
+                    if snapshot is not None:
+                        attribution.merge_snapshot(snapshot)
             outcome.io = dict(handle.io_stats())
             return outcome

@@ -61,10 +61,15 @@ class Kernel:
 
 
 class KernelBinding:
-    """Default binding: delegate straight to the kernel's methods."""
+    """Default binding: delegate straight to the kernel's methods.
+
+    Bindings carry their kernel's ``name`` so attribution scopes can be
+    labelled from whichever object a caller holds.
+    """
 
     def __init__(self, kernel: Kernel):
         self._kernel = kernel
+        self.name = kernel.name
 
     def prep(self, row: np.ndarray):
         return self._kernel._prep(row)
@@ -124,6 +129,8 @@ class BitmapKernel(Kernel):
 
 
 class _BitmapBinding:
+    name = "bitmap"
+
     def __init__(self, num_vertices: int):
         self._mask = np.zeros(num_vertices, dtype=bool)
 

@@ -93,6 +93,8 @@ class Kernel(Protocol):
 class KernelBinding(Protocol):
     """Kernel state bound to one graph; drives the inner loop."""
 
+    name: str
+
     def prep(self, row: np.ndarray) -> object:
         """Per-``u`` preparation of the outer successor list."""
         ...
@@ -111,5 +113,6 @@ class Executor(Protocol):
     #: whose handle exposes a picklable :meth:`SourceHandle.csr_handle`.
     requires_shareable: bool
 
-    def execute(self, source: Source, kernel: Kernel, *, collect: bool) -> "EngineOutcome":  # noqa: F821
+    def execute(self, source: Source, kernel: Kernel, *, collect: bool,
+                attribution: object | None = None) -> "EngineOutcome":  # noqa: F821
         ...

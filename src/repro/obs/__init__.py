@@ -23,8 +23,29 @@ anything outside the standard library, so storage/sim/core modules can
 depend on it freely.
 """
 
+from repro.obs.attribution import (
+    Attribution,
+    AttributionScope,
+    degree_bucket,
+    render_attribution,
+    validate_attribution_dict,
+)
 from repro.obs.expose import expose_text, read_telemetry_jsonl, render_top
+from repro.obs.history import (
+    PerfHistory,
+    PerfRecord,
+    headline_elapsed,
+    render_trend,
+    validate_history_dict,
+)
 from repro.obs.logsetup import configure_logging, get_logger
+from repro.obs.profile import (
+    StackSampler,
+    collapsed_text,
+    to_speedscope,
+    validate_speedscope,
+    write_speedscope,
+)
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import (
     SCHEMA_NAME,
@@ -64,11 +85,15 @@ __all__ = [
     "WORK_EVENTS",
     "is_metric_name",
     "is_trace_event_name",
+    "Attribution",
+    "AttributionScope",
     "Counter",
     "EventTracer",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PerfHistory",
+    "PerfRecord",
     "RunReport",
     "SCHEMA_NAME",
     "SCHEMA_VERSION",
@@ -76,21 +101,32 @@ __all__ = [
     "SeriesBank",
     "Span",
     "SpanTracker",
+    "StackSampler",
     "TRACE_SCHEMA_NAME",
     "TRACE_SCHEMA_VERSION",
     "TelemetrySampler",
     "TraceEvent",
     "ascii_gantt",
+    "collapsed_text",
     "configure_logging",
+    "degree_bucket",
     "expose_text",
     "fold_telemetry",
     "fold_trace_analytics",
     "from_chrome_trace",
     "get_logger",
+    "headline_elapsed",
     "overlap_analytics",
     "read_telemetry_jsonl",
+    "render_attribution",
     "render_top",
+    "render_trend",
     "to_chrome_trace",
+    "to_speedscope",
+    "validate_attribution_dict",
+    "validate_history_dict",
     "validate_chrome_trace",
+    "validate_speedscope",
     "write_chrome_trace",
+    "write_speedscope",
 ]

@@ -39,11 +39,29 @@ _QUANTILES = (("p50", "0.5"), ("p99", "0.99"))
 
 
 def _sanitize(name: str) -> str:
-    out = [ch if ch.isalnum() or ch in "_:" else "_" for ch in name]
+    # Non-ASCII alphanumerics (unicode metric names) are outside the
+    # Prometheus alphabet too, so they fold to underscores like the dots.
+    out = [ch if (ch.isascii() and ch.isalnum()) or ch in "_:" else "_"
+           for ch in name]
     text = "".join(out)
     if text and text[0].isdigit():
         text = "_" + text
     return _NAME_PREFIX + text
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format.
+
+    Backslash, double-quote, and line-feed are the three characters the
+    format requires escaping inside double-quoted label values.
+    """
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    """Escape ``# HELP`` text: backslash and line-feed only (no quotes)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _labels_text(labels: Mapping[str, str], extra: Mapping[str, str] | None = None) -> str:
@@ -52,7 +70,8 @@ def _labels_text(labels: Mapping[str, str], extra: Mapping[str, str] | None = No
         merged.update(extra)
     if not merged:
         return ""
-    inner = ",".join(f'{key}="{value}"' for key, value in sorted(merged.items()))
+    inner = ",".join(f'{key}="{_escape_label_value(value)}"'
+                     for key, value in sorted(merged.items()))
     return "{" + inner + "}"
 
 
@@ -64,38 +83,47 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
-def expose_text(source: Mapping | MetricsRegistry) -> str:
+def expose_text(source: Mapping | MetricsRegistry,
+                help_text: Mapping[str, str] | None = None) -> str:
     """Render a snapshot or tick record as Prometheus text exposition.
 
     *source* is a :class:`MetricsRegistry`, a ``registry.snapshot()``
     dict, or a telemetry tick record (which is a superset of a snapshot).
-    Output is deterministic: families sorted by exposed name, one
-    ``# TYPE`` header per family, labels preserved from the registry's
-    ``name{k=v}`` keys.
+    Output is deterministic: families sorted by exposed name, series
+    within each family sorted by their label sets, one ``# HELP`` /
+    ``# TYPE`` header pair per family, labels preserved from the
+    registry's ``name{k=v}`` keys.  Label values and help text are
+    escaped per the exposition format (backslash, quote, line-feed).
+
+    *help_text* optionally maps raw metric names (vocabulary form,
+    e.g. ``"buffer.hits"``) to ``# HELP`` strings; unmapped families get
+    a generated line naming the raw metric.
     """
     snapshot = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    help_text = help_text or {}
     lines: list[str] = []
-    families: dict[str, tuple[str, list[str]]] = {}
+    families: dict[str, tuple[str, str, list[str]]] = {}
 
-    def family(exposed: str, kind: str) -> list[str]:
+    def family(exposed: str, kind: str, raw: str) -> list[str]:
         if exposed not in families:
-            families[exposed] = (kind, [])
-        return families[exposed][1]
+            help_line = help_text.get(raw, f"repro metric {raw!r}")
+            families[exposed] = (kind, _escape_help(help_line), [])
+        return families[exposed][2]
 
     for key, value in snapshot.get("counters", {}).items():
         name, labels = _parse_key(key)
         exposed = _sanitize(name)
-        family(exposed, "counter").append(
+        family(exposed, "counter", name).append(
             f"{exposed}{_labels_text(labels)} {_format_value(int(value))}")
     for key, value in snapshot.get("gauges", {}).items():
         name, labels = _parse_key(key)
         exposed = _sanitize(name)
-        family(exposed, "gauge").append(
+        family(exposed, "gauge", name).append(
             f"{exposed}{_labels_text(labels)} {_format_value(value)}")
     for key, summary in snapshot.get("histograms", {}).items():
         name, labels = _parse_key(key)
         exposed = _sanitize(name)
-        rows = family(exposed, "summary")
+        rows = family(exposed, "summary", name)
         for field, quantile in _QUANTILES:
             if field in summary:
                 rows.append(
@@ -108,9 +136,12 @@ def expose_text(source: Mapping | MetricsRegistry) -> str:
             rows.append(f"{exposed}_sum{_labels_text(labels)} "
                         f"{_format_value(summary['sum'])}")
     for exposed in sorted(families):
-        kind, rows = families[exposed]
+        kind, help_line, rows = families[exposed]
+        lines.append(f"# HELP {exposed} {help_line}")
         lines.append(f"# TYPE {exposed} {kind}")
-        lines.extend(rows)
+        # Registry insertion order is run-dependent; sorted series make
+        # the exposition diffable across runs.
+        lines.extend(sorted(rows))
     return "\n".join(lines) + ("\n" if lines else "")
 
 

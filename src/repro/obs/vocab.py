@@ -103,6 +103,11 @@ METRIC_NAMES = frozenset({
     "parallel.chunk.elapsed",
     # live telemetry pipeline (repro.obs.telemetry)
     "telemetry.samples",
+    # wall sampling profiler (repro.obs.profile)
+    "profile.samples",
+    "profile.overhead",
+    # perf history store (repro.obs.history)
+    "perf.ingested",
     # live occupancy gauges sampled by the telemetry pipeline
     "buffer.resident",
     "ssd.inflight",

@@ -65,6 +65,7 @@ def count_chunk(
     lo: int,
     hi: int,
     collect: bool = False,
+    scope=None,
 ) -> tuple[int, int, list[Group]]:
     """EdgeIterator≻ over the vertex range ``[lo, hi)``.
 
@@ -74,11 +75,20 @@ def count_chunk(
     same vertices (Eq. 3), so summing chunk ops over any partition of
     ``[0, n)`` reproduces the serial total — the conservation property
     tested in ``tests/test_sim_properties.py``.
+
+    *scope* is an optional
+    :class:`~repro.obs.attribution.AttributionScope`: each pair's charge
+    additionally lands in the degree bucket of ``min(|a|, |b|)``, so the
+    attribution cells conserve the returned ``ops`` per chunk — and, by
+    integer summation, over any chunk partition.
     """
     graph = Graph(indptr, indices, validate=False)
     triangles = 0
     ops = 0
     groups: list[Group] = []
+    # bit_length -> [pairs, ops, triangles]; bulk-charged once per chunk
+    # so attribution adds dict updates, not a method call, per pair.
+    counts: dict[int, list[int]] = {}
     for u in range(lo, hi):
         succ_u = graph.n_succ(u)
         if len(succ_u) == 0:
@@ -86,12 +96,24 @@ def count_chunk(
         for v in succ_u:
             v = int(v)
             succ_v = graph.n_succ(v)
-            ops += intersect_count_ops(len(succ_u), len(succ_v))
+            pair_ops = intersect_count_ops(len(succ_u), len(succ_v))
+            ops += pair_ops
             common = intersect_sorted(succ_u, succ_v)
-            if len(common):
-                triangles += len(common)
+            found = len(common)
+            if scope is not None:
+                length = min(len(succ_u), len(succ_v)).bit_length()
+                cell = counts.get(length)
+                if cell is None:
+                    cell = counts[length] = [0, 0, 0]
+                cell[0] += 1
+                cell[1] += pair_ops
+                cell[2] += found
+            if found:
+                triangles += found
                 if collect:
                     groups.append((u, v, tuple(int(w) for w in common)))
+    if scope is not None and counts:
+        scope.charge_lengths(counts)
     return triangles, ops, groups
 
 
@@ -109,6 +131,9 @@ class WorkerReport:
     )
     snapshot: dict = field(default_factory=dict)
     events: list[TraceEvent] = field(default_factory=list)
+    #: Serialized :class:`~repro.obs.attribution.Attribution` snapshot
+    #: (deterministic form), or ``None`` when attribution was off.
+    attribution: dict | None = None
     error: str | None = None
 
 
@@ -133,6 +158,7 @@ def _execute_chunks(
     anchor: float,
     hb_queue=None,
     chunk_delay: float = 0.0,
+    attribute: bool = False,
 ) -> WorkerReport:
     """Run *tasks* (``(index, lo, hi)``) and record obs locally.
 
@@ -150,7 +176,13 @@ def _execute_chunks(
     once before the first task fetch and again inside every chunk (the
     up-front sleep makes the stall deterministic even when the other
     workers drain the queue first; see :class:`StragglerPolicy`).
+    With *attribute*, the worker charges a private attribution table
+    under the constant coordinate ``(parallel, hash, shm)`` and ships
+    its deterministic snapshot on the report — cells merge by summation,
+    so the folded table is independent of worker count and scheduling.
     """
+    from repro.obs.attribution import Attribution
+
     registry = MetricsRegistry()
     tracer = EventTracer(clock="wall")
     chunks_counter = registry.counter("parallel.chunks")
@@ -160,6 +192,10 @@ def _execute_chunks(
     chunk_elapsed = registry.histogram("parallel.chunk.elapsed")
     track = f"parallel/w{worker_id}"
     report = WorkerReport(worker_id=worker_id)
+    attr_table = Attribution() if attribute else None
+    attr_scope = (attr_table.scope(phase="parallel", kernel="hash",
+                                   source="shm")
+                  if attr_table is not None else None)
     done_chunks = total_ops = total_steals = 0
 
     def beat(done: bool = False) -> None:
@@ -182,7 +218,7 @@ def _execute_chunks(
         if chunk_delay > 0.0:
             time.sleep(chunk_delay)
         triangles, ops, groups = count_chunk(
-            graph.indptr, graph.indices, lo, hi, collect
+            graph.indptr, graph.indices, lo, hi, collect, scope=attr_scope
         )
         end = time.perf_counter() - anchor
         chunks_counter.inc()
@@ -205,6 +241,8 @@ def _execute_chunks(
     beat(done=True)
     report.snapshot = registry.snapshot(histogram_samples=True)
     report.events = tracer.events()
+    if attr_table is not None:
+        report.attribution = attr_table.snapshot()
     return report
 
 
@@ -219,7 +257,8 @@ def _drain_queue(task_queue) -> Iterator[tuple[int, int, int]]:
 
 def _worker_main(handle, num_workers: int, worker_id: int, collect: bool,
                  anchor: float, task_queue, result_queue,
-                 hb_queue=None, chunk_delay: float = 0.0) -> None:
+                 hb_queue=None, chunk_delay: float = 0.0,
+                 attribute: bool = False) -> None:
     """Forked worker entry: attach, drain the queue, ship one report."""
     shared = SharedCSR.attach(handle)
     graph = None
@@ -227,7 +266,7 @@ def _worker_main(handle, num_workers: int, worker_id: int, collect: bool,
         graph = shared.graph()
         report = _execute_chunks(
             graph, _drain_queue(task_queue), worker_id, num_workers,
-            collect, anchor, hb_queue, chunk_delay,
+            collect, anchor, hb_queue, chunk_delay, attribute,
         )
     # Worker boundary: ANY failure (including KeyboardInterrupt /
     # SystemExit) must reach the parent as an error report, or the
@@ -337,6 +376,7 @@ def _merge(
     trace: EventTracer | None,
     anchor_rel: float,
     telemetry: TelemetrySampler | None = None,
+    attribution=None,
 ) -> tuple[int, int, ParallelResult]:
     """Fold worker reports into (triangles, ops) + obs, deterministically."""
     failures = sorted(
@@ -372,9 +412,11 @@ def _merge(
                 sink.emit(u, v, ws)
 
     steals = 0
-    for report in reports:
+    for report in sorted(reports, key=lambda r: r.worker_id):
         steals += int(report.snapshot.get("counters", {})
                       .get("parallel.steals", 0))
+        if attribution is not None and report.attribution is not None:
+            attribution.merge_snapshot(report.attribution)
         if run_report is not None:
             run_report.registry.merge_snapshot(report.snapshot)
         if trace is not None:
@@ -412,6 +454,7 @@ def triangulate_parallel(
     trace: EventTracer | None = None,
     telemetry: TelemetrySampler | None = None,
     straggler: StragglerPolicy | None = None,
+    attribution=None,
 ) -> TriangulationResult:
     """List all triangles of *graph* with *workers* processes.
 
@@ -454,6 +497,15 @@ def triangulate_parallel(
         a silent worker raises :class:`ParallelError` promptly instead
         of hanging the join.  Monitoring is fully off by default — the
         determinism contract of plain runs is untouched.
+    attribution:
+        Optional :class:`~repro.obs.attribution.Attribution`.  Workers
+        charge private tables under the constant coordinate
+        ``(parallel, hash, shm)`` with per-pair degree buckets and ship
+        deterministic snapshots; the parent folds them in worker order.
+        Because cells are integer sums, the merged table is byte-identical
+        across worker counts, and its ``total_ops`` equals the run's
+        Eq. 3 op count.  The parent's wall time is attributed separately
+        (excluded from the deterministic snapshot).
 
     Returns the usual :class:`TriangulationResult`; ``extra["parallel"]``
     carries the merged :class:`ParallelResult`.
@@ -485,10 +537,12 @@ def triangulate_parallel(
     start_wall = time.perf_counter()
     anchor_rel = trace.now() if trace is not None else 0.0
 
+    attribute = attribution is not None
     if workers == 1 or len(tasks) == 1:
         effective_workers = 1
         worker_reports = [
-            _execute_chunks(graph, tasks, 0, 1, collect, start_wall)
+            _execute_chunks(graph, tasks, 0, 1, collect, start_wall,
+                            attribute=attribute)
         ]
     else:
         effective_workers = min(workers, len(tasks))
@@ -533,7 +587,8 @@ def triangulate_parallel(
                           hb_queue,
                           policy.inject_chunk_delay
                           if policy is not None
-                          and policy.inject_worker == worker_id else 0.0),
+                          and policy.inject_worker == worker_id else 0.0,
+                          attribute),
                     name=f"parallel-w{worker_id}",
                 )
                 for worker_id in range(effective_workers)
@@ -572,9 +627,12 @@ def triangulate_parallel(
 
     triangles, ops, parallel_result = _merge(
         worker_reports, chunk_bounds, effective_workers, sink, collect,
-        report, trace, anchor_rel, telemetry,
+        report, trace, anchor_rel, telemetry, attribution,
     )
     elapsed = time.perf_counter() - start_wall
+    if attribution is not None:
+        attribution.scope(phase="parallel", kernel="hash",
+                          source="shm").charge_time(elapsed)
     extra = {
         "workers": effective_workers,
         "chunks": list(chunk_bounds),

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -192,3 +194,88 @@ class TestInfoCommands:
         assert main(["metrics", "--input", str(path)]) == 0
         out = capsys.readouterr().out
         assert "clustering coefficient" in out
+
+
+class TestProfileCommand:
+    @pytest.fixture()
+    def graph_file(self, tmp_path, figure1):
+        from repro.graph.io import write_edge_list
+
+        path = tmp_path / "fig1.txt"
+        write_edge_list(figure1, path)
+        return path
+
+    def test_table_output_conserves_ops(self, graph_file, capsys):
+        assert main(["profile", "--input", str(graph_file),
+                     "--format", "table"]) == 0
+        out = capsys.readouterr().out
+        assert "attributed ops" in out and "triangles" in out
+
+    def test_collapsed_output(self, graph_file, capsys):
+        assert main(["profile", "--input", str(graph_file),
+                     "--format", "collapsed"]) == 0
+        out = capsys.readouterr().out
+        assert "phase:" in out and "degree:" in out
+
+    def test_speedscope_output_validates(self, graph_file, tmp_path,
+                                         capsys):
+        from repro.obs import validate_speedscope
+
+        out_path = tmp_path / "p.speedscope.json"
+        assert main(["profile", "--input", str(graph_file),
+                     "--method", "opt", "--format", "speedscope",
+                     "--output", str(out_path)]) == 0
+        assert "speedscope" in capsys.readouterr().out
+        doc = json.loads(out_path.read_text(encoding="utf-8"))
+        assert validate_speedscope(doc) == []
+
+    def test_bad_composition_fails_cleanly(self, graph_file, capsys):
+        # A memory source cannot cross process boundaries — compose
+        # rejects the pair and profile must surface it as exit 1.
+        assert main(["profile", "--input", str(graph_file),
+                     "--source", "memory", "--executor", "process"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestPerfCommand:
+    def _bench(self, tmp_path, name, elapsed):
+        path = tmp_path / f"BENCH_{name}.json"
+        payload = {"derived": {"elapsed_simulated": elapsed}}
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    def test_ingest_trend_check_round_trip(self, tmp_path, capsys):
+        index = tmp_path / "hist.jsonl"
+        first = self._bench(tmp_path, "fig3a", 0.50)
+        assert main(["perf", "--index", str(index), "ingest",
+                     str(first), "--rev", "r1"]) == 0
+        assert "1 ingested, 0 skipped" in capsys.readouterr().out
+        # Re-ingesting the identical report is a skip, not a new row.
+        assert main(["perf", "--index", str(index), "ingest",
+                     str(first), "--rev", "r1"]) == 0
+        assert "0 ingested, 1 skipped" in capsys.readouterr().out
+        assert main(["perf", "--index", str(index), "trend"]) == 0
+        assert "fig3a" in capsys.readouterr().out
+        ok = self._bench(tmp_path, "fig3a_ok", 0.52)
+        ok = ok.rename(tmp_path / "BENCH_fig3a.json.ok")
+        fresh = self._bench(tmp_path, "fig3a", 0.52)
+        assert main(["perf", "--index", str(index), "check",
+                     str(fresh)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_check_flags_regression(self, tmp_path, capsys):
+        index = tmp_path / "hist.jsonl"
+        baseline = self._bench(tmp_path, "fig3a", 0.50)
+        assert main(["perf", "--index", str(index), "ingest",
+                     str(baseline), "--rev", "r1"]) == 0
+        capsys.readouterr()
+        slow = self._bench(tmp_path, "fig3a", 0.50 * 1.5)
+        assert main(["perf", "--index", str(index), "check",
+                     str(slow)]) == 1
+        assert "regressed" in capsys.readouterr().out
+
+    def test_check_without_history_is_ok(self, tmp_path, capsys):
+        fresh = self._bench(tmp_path, "nohist", 0.1)
+        assert main(["perf", "--index", str(tmp_path / "h.jsonl"),
+                     "check", str(fresh)]) == 0
+        assert "no-history" in capsys.readouterr().out

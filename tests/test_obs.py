@@ -385,3 +385,87 @@ class TestLogging:
 
         assert root.level == logging.DEBUG
         configure_logging(0)
+
+
+class TestVocabClosure:
+    """The profiler / perf-history names are vocabulary members, and the
+    emitters stay within the vocabulary under a strict registry."""
+
+    def test_new_names_are_in_the_vocabulary(self):
+        from repro.obs import is_metric_name
+
+        for name in ("profile.samples", "profile.overhead", "perf.ingested"):
+            assert is_metric_name(name), name
+
+    def test_stack_sampler_emits_vocabulary_names_only(self):
+        from repro.obs import StackSampler
+
+        registry = MetricsRegistry(strict_vocab=True)
+        sampler = StackSampler(interval=0.01, registry=registry)
+        sampler.sample_once()
+        sampler.start()
+        sampler.stop()
+        snapshot = registry.snapshot()
+        assert "profile.samples" in snapshot["counters"]
+        assert "profile.overhead" in snapshot["gauges"]
+
+    def test_history_ingest_emits_vocabulary_names_only(self, tmp_path):
+        from repro.obs import PerfHistory
+
+        registry = MetricsRegistry(strict_vocab=True)
+        history = PerfHistory(tmp_path / "hist.jsonl")
+        record = history.ingest({"derived": {"elapsed_simulated": 0.5}},
+                                bench="b", git_rev="r", registry=registry)
+        assert record is not None
+        assert registry.counter("perf.ingested").value == 1
+
+
+class TestStackSampler:
+    def test_sample_once_records_this_thread(self):
+        from repro.obs import StackSampler, collapsed_text
+
+        sampler = StackSampler(interval=0.01)
+        taken = sampler.sample_once()
+        assert taken >= 1
+        stacks = sampler.collapsed()
+        assert stacks, "no stacks captured"
+        text = collapsed_text(stacks)
+        # Frames are module:function, root-first, ';'-joined.
+        assert "test_obs:test_sample_once_records_this_thread" in text
+
+    def test_disabled_sampler_is_inert(self):
+        from repro.obs import StackSampler
+
+        sampler = StackSampler(enabled=False)
+        sampler.start()
+        sampler.stop()
+        assert sampler.samples == 0
+        assert sampler.collapsed() == {}
+
+    def test_live_sampler_accumulates_and_stops(self):
+        from repro.obs import StackSampler
+
+        sampler = StackSampler(interval=0.001)
+        sampler.start()
+        deadline = time.monotonic() + 0.2
+        while time.monotonic() < deadline and sampler.samples == 0:
+            sum(range(1000))
+        sampler.stop()
+        assert sampler.samples > 0
+        assert sampler.overhead_seconds >= 0.0
+        after = sampler.samples
+        time.sleep(0.02)
+        assert sampler.samples == after, "sampler kept running after stop"
+
+    def test_speedscope_validator_flags_drift(self):
+        from repro.obs import StackSampler, to_speedscope, validate_speedscope
+
+        sampler = StackSampler(interval=0.01)
+        sampler.sample_once()
+        doc = to_speedscope(sampler.collapsed(), name="unit",
+                            unit="samples")
+        assert validate_speedscope(doc) == []
+        broken = json.loads(json.dumps(doc))
+        broken["profiles"][0]["weights"].append(1)
+        assert any("weights" in error
+                   for error in validate_speedscope(broken))

@@ -101,6 +101,34 @@ def test_telemetry_overhead_baseline_is_seeded(checker):
     assert "buffer.hits" in derived["telemetry"]["series"]
 
 
+def test_profile_overhead_baseline_is_seeded(checker):
+    """The committed profiler-overhead artifact validates and its
+    derived ratios honor the profiler's overhead contract: <10% wall
+    for the stack sampler, ~0 disabled, and the attribution table
+    within its documented ceiling (see bench_profile_overhead.py)."""
+    path = BENCHMARKS_DIR / "results" / "BENCH_profile_overhead.json"
+    assert path.exists(), "missing committed BENCH_profile_overhead.json"
+    assert checker.validate_file(path) == []
+    derived = json.loads(path.read_text(encoding="utf-8"))["derived"]
+    assert derived["profile_overhead"] < 1.10
+    assert derived["disabled_overhead"] < 1.05
+    assert derived["attribution_overhead"] < 1.30
+    assert derived["profile_samples"] > 0
+    # The embedded attribution snapshot conserves its own totals.
+    from repro.obs import validate_attribution_dict
+
+    attribution = derived["attribution"]
+    assert validate_attribution_dict(attribution) == []
+    assert attribution["totals"]["ops"] > 0
+
+
+def test_profile_flame_artifact_is_seeded(checker):
+    """The committed speedscope flame profile validates."""
+    path = BENCHMARKS_DIR / "results" / "PROFILE_fig3b.speedscope.json"
+    assert path.exists(), "missing committed PROFILE_fig3b.speedscope.json"
+    assert checker.validate_profile_file(path) == []
+
+
 def test_validate_report_dict_rejects_future_version():
     payload = json.loads(RunReport("x").to_json())
     payload["version"] = 999

@@ -308,6 +308,48 @@ class TestExposition:
         text = expose_text(tick)
         assert "repro_parallel_ops 10" in text
 
+    def test_expose_text_empty_registry(self):
+        from repro.obs import MetricsRegistry
+
+        assert expose_text(MetricsRegistry()) == ""
+        assert expose_text({"counters": {}, "gauges": {},
+                            "histograms": {}}) == ""
+
+    def test_expose_text_unicode_name_folds_to_ascii(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("triångles.τotal").inc(3)
+        text = expose_text(registry)
+        # Outside-alphabet characters fold to underscores; the exposed
+        # name stays within [a-zA-Z0-9_:].
+        assert "repro_tri_ngles__otal 3" in text
+        for line in text.splitlines():
+            name = line.split("{")[0].split(" ")[-2 if line.startswith("#")
+                                                 else 0]
+            assert all(ch.isascii() for ch in name)
+
+    def test_expose_text_escapes_label_values_and_help(self):
+        text = expose_text({"counters": {
+            'io.pages_read{path=a\\b\nc"d}': 1}},
+            help_text={"io.pages_read": 'pages \\ read\n"raw"'})
+        assert r'path="a\\b\nc\"d"' in text
+        assert '# HELP repro_io_pages_read pages \\\\ read\\n"raw"' in text
+        assert "\n\n" not in text  # escaped newlines never split a line
+
+    def test_expose_text_help_and_sorted_series(self):
+        text = expose_text({"counters": {
+            "triangles{phase=total}": 9,
+            "triangles{phase=external}": 4,
+        }})
+        lines = text.splitlines()
+        assert lines[0] == "# HELP repro_triangles repro metric 'triangles'"
+        assert lines[1] == "# TYPE repro_triangles counter"
+        # Series within the family sort by label set regardless of
+        # registry insertion order.
+        assert lines[2] == 'repro_triangles{phase="external"} 4'
+        assert lines[3] == 'repro_triangles{phase="total"} 9'
+
     def test_sparkline_shapes(self):
         assert sparkline([]) == ""
         assert sparkline([1.0, 1.0]) == "▁▁"
@@ -317,6 +359,32 @@ class TestExposition:
             list(range(90, 100)))
         with pytest.raises(ValueError):
             sparkline([1.0], width=0)
+
+    def test_sparkline_edge_cases(self):
+        # Constant and single-point series are flat, not empty.
+        assert sparkline([5.0]) == "▁"
+        assert sparkline([5.0] * 4) == "▁▁▁▁"
+        # Non-finite values render as dots and don't poison the scale.
+        nan = float("nan")
+        inf = float("inf")
+        assert sparkline([nan, nan]) == "··"
+        assert sparkline([inf, -inf]) == "··"
+        mixed = sparkline([0.0, nan, 1.0, inf, 2.0])
+        assert mixed[0] == "▁" and mixed[-1] == "█"
+        assert mixed[1] == "·" and mixed[3] == "·"
+        # The window trim happens before the finite scan.
+        assert sparkline([nan, 1.0, 2.0], width=2) == sparkline([1.0, 2.0])
+
+    def test_render_top_finish_only_tick(self):
+        # A run short enough to emit only its finish() tick still renders
+        # a frame (header + [final] marker), with every optional section
+        # skipped.
+        frame = render_top([{"t": 0.25, "seq": 0, "final": True,
+                             "counters": {}, "rates": {}}])
+        assert "[final]" in frame
+        assert "t=0.250" in frame
+        assert "eta" not in frame and "w0" not in frame
+        assert "hottest rates" not in frame
 
     def test_jsonl_round_trip_tolerates_torn_tail(self, tmp_path):
         sampler = TelemetrySampler(_sampled_registry(), clock="sim")
