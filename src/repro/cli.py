@@ -561,6 +561,14 @@ def _cmd_lint(args) -> int:
         argv += ["--root", args.root]
     if args.list_rules:
         argv.append("--list-rules")
+    if args.jobs != 1:
+        argv += ["--jobs", str(args.jobs)]
+    if args.graph:
+        argv += ["--graph", args.graph]
+    if args.strict_ignores:
+        argv.append("--strict-ignores")
+    if args.expire_baselines:
+        argv.append("--expire-baselines")
     return run_lint(argv)
 
 
@@ -923,6 +931,10 @@ def build_parser() -> argparse.ArgumentParser:
     lnt.add_argument("--rules", default=None, metavar="ID[,ID...]")
     lnt.add_argument("--root", default=None, metavar="DIR")
     lnt.add_argument("--list-rules", action="store_true")
+    lnt.add_argument("--jobs", type=int, default=1, metavar="N")
+    lnt.add_argument("--graph", choices=["json", "dot"], default=None)
+    lnt.add_argument("--strict-ignores", action="store_true")
+    lnt.add_argument("--expire-baselines", action="store_true")
     lnt.set_defaults(func=_cmd_lint)
 
     ds = sub.add_parser("datasets", help="list dataset stand-ins")

@@ -56,6 +56,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: current directory)")
     parser.add_argument("--list-rules", action="store_true",
                         help="describe the registered rules and exit")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="parse files with N worker threads; output is "
+                             "byte-identical for any N (default: 1)")
+    parser.add_argument("--graph", choices=("json", "dot"), default=None,
+                        metavar="{json,dot}",
+                        help="export the interprocedural call graph to "
+                             "stdout instead of linting and exit 0")
+    parser.add_argument("--strict-ignores", action="store_true",
+                        help="report suppression comments that silenced "
+                             "nothing as unused-suppression findings")
+    parser.add_argument("--expire-baselines", action="store_true",
+                        help="rewrite the baseline dropping entries no "
+                             "finding uses any more; exit 1 if any were "
+                             "dropped (stale debt must not linger)")
     return parser
 
 
@@ -88,8 +102,22 @@ def run_lint(argv: Sequence[str] | None = None, *, stdout=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    runner = LintRunner(rules, root=args.root)
-    result = runner.run(args.paths)
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    runner = LintRunner(rules, root=args.root, jobs=args.jobs,
+                        strict_ignores=args.strict_ignores)
+    result = runner.run(args.paths, build_graph=args.graph is not None)
+
+    if args.graph is not None:
+        # Pure export: no findings, no baseline, always exit 0.
+        if args.graph == "dot":
+            print(result.graph.to_dot(), file=out)
+        else:
+            print(json.dumps(result.graph.to_json_dict(), indent=2,
+                             sort_keys=True), file=out)
+        return 0
 
     baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
     if args.write_baseline:
@@ -107,6 +135,18 @@ def run_lint(argv: Sequence[str] | None = None, *, stdout=None) -> int:
         return 2
 
     new, baselined, expired = baseline.split(result.findings)
+
+    if args.expire_baselines:
+        if expired:
+            # Keep exactly the entries still absorbing findings; stale
+            # fingerprints (fixed debt) are dropped so they cannot be
+            # re-spent on a future regression.
+            Baseline.from_findings(baselined).save(baseline_path)
+        kept = len(baseline.entries) - len(expired)
+        print(f"{baseline_path}: {len(expired)} stale baseline entr"
+              f"{'y' if len(expired) == 1 else 'ies'} dropped, "
+              f"{kept} kept", file=out)
+        return 1 if new or expired else 0
 
     if args.format == "json":
         payload = {

@@ -9,6 +9,20 @@ byte-stability test in ``tests/test_lint.py`` holds the engine to it),
 because the findings JSON is diffed in CI and fingerprints feed the
 baseline file.
 
+Two dispatch tiers share that contract:
+
+* **per-file rules** (:class:`Rule`) see one :class:`ModuleInfo` at a
+  time — the original tier;
+* **project rules** (:class:`ProjectRule`) run after every file has
+  parsed and receive a :class:`ProjectContext` carrying the whole-tree
+  call graph (:mod:`repro.lint.callgraph`) alongside the modules, so a
+  rule can follow a dropped ``report=`` kwarg or a leaked ``SharedCSR``
+  across function and module boundaries.
+
+Parsing can fan out over ``jobs`` worker threads; modules are collected
+back in the original sorted order, so output is byte-identical for any
+job count.
+
 Suppression syntax, on the offending line or alone on the line above::
 
     self._queue.append(item)  # lint: ignore[lockset] serialized by barrier
@@ -33,7 +47,8 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.lint.findings import Finding
 
-__all__ = ["LintResult", "LintRunner", "ModuleInfo", "Rule"]
+__all__ = ["LintResult", "LintRunner", "ModuleInfo", "ProjectContext",
+           "ProjectRule", "Rule"]
 
 _SUPPRESS_RE = re.compile(
     r"#\s*lint:\s*ignore(?:\[(?P<rules>[^\]]*)\])?"
@@ -94,12 +109,55 @@ class Rule:
 
 
 @dataclass
+class ProjectContext:
+    """What a :class:`ProjectRule` sees: the whole parsed tree at once."""
+
+    modules: list[ModuleInfo]
+    #: the linked :class:`repro.lint.callgraph.CallGraph`
+    graph: "object"
+    by_relpath: dict[str, ModuleInfo] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.by_relpath:
+            self.by_relpath = {m.relpath: m for m in self.modules}
+
+
+class ProjectRule(Rule):
+    """A rule over the whole project rather than one module.
+
+    Subclasses implement :meth:`check_project` against a
+    :class:`ProjectContext`; the per-file :meth:`Rule.check` hook is a
+    no-op so a mixed rule list dispatches each rule exactly once.
+    Findings must carry the ``relpath`` of a parsed module so inline
+    suppressions keep working.
+    """
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def project_finding(self, module: ModuleInfo, lineno: int, col: int,
+                        message: str, *,
+                        severity: str | None = None) -> Finding:
+        """A finding anchored to an explicit position in *module*."""
+        return Finding(
+            path=module.relpath, line=lineno, col=col,
+            rule_id=self.rule_id, message=message,
+            severity=severity or self.severity,
+        )
+
+
+@dataclass
 class LintResult:
     """Everything one engine run produced."""
 
     findings: list[Finding]
     files: int
     suppressed: int
+    #: the call graph, when a project rule (or the caller) asked for one
+    graph: "object" = None
 
     def by_rule(self) -> dict[str, int]:
         counts: dict[str, int] = {}
@@ -174,11 +232,22 @@ def _collect_files(paths: Iterable[str | Path]) -> list[Path]:
 
 
 class LintRunner:
-    """Run a set of rules over a set of paths."""
+    """Run a set of rules over a set of paths.
 
-    def __init__(self, rules: Sequence[Rule], *, root: str | Path | None = None):
+    *jobs* parses files on a thread pool (results are collected back in
+    sorted-path order, so output stays byte-identical for any value).
+    *strict_ignores* reports ``# lint: ignore`` directives that
+    suppressed zero findings as ``unused-suppression`` findings, so
+    stale ignores cannot rot once the code they excused is fixed.
+    """
+
+    def __init__(self, rules: Sequence[Rule], *,
+                 root: str | Path | None = None, jobs: int = 1,
+                 strict_ignores: bool = False):
         self.rules = list(rules)
         self.root = Path(root).resolve() if root is not None else Path.cwd()
+        self.jobs = max(1, int(jobs))
+        self.strict_ignores = strict_ignores
         seen: set[str] = set()
         for rule in self.rules:
             if rule.rule_id in seen:
@@ -186,44 +255,126 @@ class LintRunner:
             seen.add(rule.rule_id)
         self.rule_ids = seen
 
-    def run(self, paths: Iterable[str | Path]) -> LintResult:
-        findings: list[Finding] = []
-        suppressed = 0
-        files = _collect_files(paths)
-        for path in files:
+    def _parse_all(self, files: Sequence[Path]) \
+            -> list["ModuleInfo | Finding"]:
+        """Parse every file, a parse failure becoming its finding.
+
+        With ``jobs > 1`` parsing fans out over a thread pool; ``map``
+        preserves input order, so downstream output is byte-identical
+        to the serial path.
+        """
+        def parse_one(path: Path) -> "ModuleInfo | Finding":
             try:
-                module = parse_module(path, self.root)
+                return parse_module(path, self.root)
             except (SyntaxError, UnicodeDecodeError) as exc:
                 relpath = path.as_posix()
                 try:
                     relpath = path.relative_to(self.root).as_posix()
                 except ValueError:
                     pass
-                findings.append(Finding(
+                return Finding(
                     path=relpath,
                     line=getattr(exc, "lineno", 1) or 1,
                     col=getattr(exc, "offset", 0) or 0,
                     rule_id="parse-error",
-                    message=f"cannot parse: {exc.msg if hasattr(exc, 'msg') else exc}",
-                ))
-                continue
-            raw: list[Finding] = []
-            for rule in self.rules:
-                raw.extend(rule.check(module))
-            raw.extend(self._check_suppressions(module))
+                    message=f"cannot parse: "
+                            f"{exc.msg if hasattr(exc, 'msg') else exc}",
+                )
+        if self.jobs == 1 or len(files) < 2:
+            return [parse_one(path) for path in files]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            return list(pool.map(parse_one, files))
+
+    def run(self, paths: Iterable[str | Path], *,
+            build_graph: bool = False) -> LintResult:
+        findings: list[Finding] = []
+        suppressed = 0
+        files = _collect_files(paths)
+        modules: list[ModuleInfo] = []
+        for parsed in self._parse_all(files):
+            if isinstance(parsed, Finding):
+                findings.append(parsed)
+            else:
+                modules.append(parsed)
+
+        #: relpath -> set of suppression target lines that absorbed >= 1
+        #: finding (feeds the unused-suppression pass).
+        used_suppressions: dict[str, set[int]] = {}
+        #: relpath -> lines already reported as bad-suppression (a
+        #: directive with a typo'd rule id is mis-written, not stale).
+        bad_lines: dict[str, set[int]] = {}
+
+        def admit(module: ModuleInfo, raw: Iterable[Finding]) -> int:
+            """Suppression-filter *raw* into ``findings``; count kept."""
+            nonlocal suppressed
+            kept = 0
             for finding in raw:
                 ignored = module.suppressions.get(finding.line)
                 if ignored is not None and (not ignored
                                             or finding.rule_id in ignored):
                     suppressed += 1
+                    used_suppressions.setdefault(
+                        module.relpath, set()).add(finding.line)
                     continue
                 findings.append(finding)
+                kept += 1
+            return kept
+
+        project_rules = [rule for rule in self.rules
+                         if isinstance(rule, ProjectRule)]
+        file_rules = [rule for rule in self.rules
+                      if not isinstance(rule, ProjectRule)]
+
+        for module in modules:
+            raw: list[Finding] = []
+            for rule in file_rules:
+                raw.extend(rule.check(module))
+            admit(module, raw)
+            for finding in self._check_suppressions(module):
+                bad_lines.setdefault(module.relpath, set()).add(finding.line)
+                admit(module, [finding])
+
+        graph = None
+        if project_rules or build_graph:
+            from repro.lint.callgraph import build_call_graph
+
+            graph = build_call_graph(modules)
+        if project_rules:
+            context = ProjectContext(modules=modules, graph=graph)
+            by_relpath = context.by_relpath
+            for rule in project_rules:
+                for finding in sorted(rule.check_project(context)):
+                    module = by_relpath.get(finding.path)
+                    if module is None:
+                        findings.append(finding)
+                    else:
+                        admit(module, [finding])
+
+        if self.strict_ignores:
+            for module in modules:
+                used = used_suppressions.get(module.relpath, set())
+                bad = bad_lines.get(module.relpath, set())
+                for line in sorted(module.suppressions):
+                    if line in used or line in bad:
+                        continue
+                    findings.append(Finding(
+                        path=module.relpath, line=line, col=0,
+                        rule_id="unused-suppression",
+                        message="suppression matches no finding — the "
+                                "code it excused is fixed; delete the "
+                                "directive",
+                        severity="warning",
+                    ))
+
         return LintResult(findings=sorted(findings), files=len(files),
-                          suppressed=suppressed)
+                          suppressed=suppressed, graph=graph)
 
     def _check_suppressions(self, module: ModuleInfo) -> Iterator[Finding]:
         """Report suppression directives naming unknown rule ids."""
-        known = self.rule_ids | {"parse-error", "bad-suppression"}
+        known = self.rule_ids | {"parse-error", "bad-suppression",
+                                 "unused-suppression"}
         for line, rule_ids in sorted(module.suppressions.items()):
             for rule_id in sorted(rule_ids - known):
                 yield Finding(

@@ -11,7 +11,10 @@ here, set ``rule_id`` / ``severity`` / ``description`` /
 ``paper_invariant``, implement ``check()`` as a generator of findings,
 append the class to :data:`ALL_RULES`, and add one true-positive and
 one true-negative fixture to ``tests/test_lint.py`` (the rule-coverage
-test fails until both exist).
+test fails until both exist).  Rules needing the whole-project call
+graph subclass :class:`repro.lint.engine.ProjectRule` instead and
+implement ``check_project()``; their fixtures live in the project-rule
+fixture table.
 """
 
 from __future__ import annotations
@@ -20,10 +23,13 @@ from repro.lint.engine import Rule
 from repro.lint.rules.callback_io import CallbackIoRule
 from repro.lint.rules.engine_composition import EngineCompositionRule
 from repro.lint.rules.error_types import ErrorTypesRule
+from repro.lint.rules.exception_flow import ExceptionFlowRule
+from repro.lint.rules.instrumentation_plumbing import InstrumentationPlumbingRule
 from repro.lint.rules.kwargs_threading import KwargsThreadingRule
 from repro.lint.rules.lockset import LocksetRule
 from repro.lint.rules.mutable_default import MutableDefaultRule
 from repro.lint.rules.obs_vocab import ObsVocabRule
+from repro.lint.rules.resource_lifecycle import ResourceLifecycleRule
 from repro.lint.rules.set_iteration import SetIterationRule
 from repro.lint.rules.shm_lifecycle import ShmLifecycleRule
 from repro.lint.rules.sim_purity import SimPurityRule
@@ -42,6 +48,10 @@ ALL_RULES: tuple[type[Rule], ...] = (
     MutableDefaultRule,
     SetIterationRule,
     ShmLifecycleRule,
+    # Project rules (interprocedural; run after all per-file rules).
+    InstrumentationPlumbingRule,
+    ExceptionFlowRule,
+    ResourceLifecycleRule,
 )
 
 

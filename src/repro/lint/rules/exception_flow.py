@@ -1,0 +1,341 @@
+"""``exception-flow`` — registered entry points leak only typed errors.
+
+The library's robustness contract (:mod:`repro.errors`) is *exact
+listing or a typed error, never a silently wrong answer* — and its
+practical half is that callers of a registered entry point can write
+``except ReproError`` and know library failures cannot slip past as
+``KeyError`` or ``OSError``.  The per-file ``error-types`` rule bans
+*raising* untyped exceptions, but it cannot see a ``KeyError`` raised
+three frames down in a helper escaping through an entry point that
+never mentions exceptions at all.
+
+This project rule computes, for every function, the set of exception
+classes its explicit ``raise`` statements can propagate — then runs the
+sets to a fixed point over the call graph: a callee's escapes flow into
+each caller minus whatever the enclosing ``try`` handlers around that
+call site absorb (handler coverage uses the real subclass hierarchy:
+``except LookupError`` absorbs a ``KeyError``; a handler containing a
+bare re-raise absorbs nothing).  Each registered entry point's escape
+set must then be covered by the typed hierarchy rooted at ``ReproError``
+in ``errors.py`` plus the builtin *programming error* family the
+hierarchy's docstring explicitly lets propagate (``ValueError``,
+``TypeError``, ``NotImplementedError``, ``AssertionError``,
+``StopIteration``, ``KeyboardInterrupt``).  Anything else —
+``KeyError``, ``OSError``, ``IndexError``, ... — is a finding naming
+the escape chain.
+
+Approximations, documented: only *explicit* ``raise ClassName(...)``
+statements seed the analysis (a ``dict[missing]`` subscript is the
+runtime's raise, not the library's contract); unresolvable call targets
+contribute nothing; ``finally`` and handler bodies get no handler
+coverage of their own.  Under-approximation means the rule can miss an
+escape but never invents one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import ImportTable, dotted_name
+from repro.lint.engine import Finding, ModuleInfo, ProjectContext, ProjectRule
+
+__all__ = ["ExceptionFlowRule"]
+
+#: Builtin exception hierarchy (child -> parent), just deep enough to
+#: decide handler coverage for the exceptions this codebase touches.
+_BUILTIN_PARENTS = {
+    "KeyError": "LookupError",
+    "IndexError": "LookupError",
+    "LookupError": "Exception",
+    "FileNotFoundError": "OSError",
+    "PermissionError": "OSError",
+    "IsADirectoryError": "OSError",
+    "InterruptedError": "OSError",
+    "TimeoutError": "OSError",
+    "IOError": "OSError",
+    "OSError": "Exception",
+    "ZeroDivisionError": "ArithmeticError",
+    "OverflowError": "ArithmeticError",
+    "ArithmeticError": "Exception",
+    "NotImplementedError": "RuntimeError",
+    "RecursionError": "RuntimeError",
+    "RuntimeError": "Exception",
+    "UnicodeDecodeError": "ValueError",
+    "UnicodeEncodeError": "ValueError",
+    "ValueError": "Exception",
+    "TypeError": "Exception",
+    "AttributeError": "Exception",
+    "NameError": "Exception",
+    "StopIteration": "Exception",
+    "AssertionError": "Exception",
+    "BufferError": "Exception",
+    "MemoryError": "Exception",
+    "EOFError": "Exception",
+    "Exception": "BaseException",
+    "KeyboardInterrupt": "BaseException",
+    "SystemExit": "BaseException",
+}
+
+#: Builtins an entry point may legitimately leak: the hierarchy's
+#: documented *programming error* family, plus control-flow exceptions.
+_ALLOWED_BUILTINS = frozenset({
+    "ValueError", "TypeError", "NotImplementedError", "AssertionError",
+    "StopIteration", "KeyboardInterrupt", "SystemExit",
+})
+
+_ROOT_TYPED = "ReproError"
+
+
+def _registered_entry_keys() -> frozenset[str]:
+    from repro.exec.registry import REGISTERED_ENTRY_POINTS
+
+    return REGISTERED_ENTRY_POINTS
+
+
+def _simple(name: str | None) -> str | None:
+    """Last segment of a dotted exception name (its class name)."""
+    if name is None:
+        return None
+    return name.rsplit(".", 1)[-1]
+
+
+class _Hierarchy:
+    """Subclass queries over builtins + the project's class table."""
+
+    def __init__(self, graph):
+        #: simple class name -> simple base names (project classes)
+        self.parents: dict[str, set[str]] = {}
+        for symbol in graph.classes.values():
+            bases = {base for base in
+                     (_simple(b) for b in symbol.bases) if base}
+            self.parents.setdefault(symbol.name, set()).update(bases)
+        self.typed = self._descendants(_ROOT_TYPED)
+
+    def _descendants(self, root: str) -> set[str]:
+        out = {root}
+        changed = True
+        while changed:
+            changed = False
+            for name, bases in self.parents.items():
+                if name not in out and bases & out:
+                    out.add(name)
+                    changed = True
+        return out
+
+    def ancestors(self, name: str) -> set[str]:
+        """Every (transitive) base class name of *name*, plus itself."""
+        out = {name}
+        queue = [name]
+        while queue:
+            current = queue.pop()
+            for parent in self.parents.get(current, set()):
+                if parent not in out:
+                    out.add(parent)
+                    queue.append(parent)
+            builtin_parent = _BUILTIN_PARENTS.get(current)
+            if builtin_parent and builtin_parent not in out:
+                out.add(builtin_parent)
+                queue.append(builtin_parent)
+        return out
+
+    def caught_by(self, raised: str, handler_names: set[str]) -> bool:
+        return bool(self.ancestors(raised) & handler_names)
+
+
+class _FunctionFlow(ast.NodeVisitor):
+    """One function's local raises and per-call handler coverage."""
+
+    def __init__(self, module: ModuleInfo, func_node: ast.AST,
+                 imports: ImportTable):
+        self.imports = imports
+        #: ``(simple exception name, covering handler names)`` pairs for
+        #: every direct raise — coverage is applied against the real
+        #: hierarchy later, when the rule owns a :class:`_Hierarchy`.
+        self.raises: set[tuple[str, frozenset[str]]] = set()
+        #: (lineno, col) of a call -> frozenset of handler simple names
+        #: covering it (empty frozenset = unprotected).
+        self.call_cover: dict[tuple[int, int], frozenset[str]] = {}
+        self._handler_stack: list[frozenset[str]] = []
+        for child in ast.iter_child_nodes(func_node):
+            self.visit(child)
+
+    # -- scope: do not descend into nested defs/classes ----------------------
+
+    def visit_FunctionDef(self, node):    # nested frames analyzed separately
+        pass
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_Lambda = visit_FunctionDef
+    visit_ClassDef = visit_FunctionDef
+
+    # -- try/except context --------------------------------------------------
+
+    @staticmethod
+    def _handler_absorbs(handler: ast.ExceptHandler) -> bool:
+        """False when the handler re-raises what it caught."""
+        as_name = handler.name
+        for sub in ast.walk(handler):
+            if isinstance(sub, ast.Raise):
+                if sub.exc is None:
+                    return False
+                if isinstance(sub.exc, ast.Name) and sub.exc.id == as_name:
+                    return False
+        return True
+
+    def _handler_names(self, node: ast.Try) -> frozenset[str]:
+        names: set[str] = set()
+        for handler in node.handlers:
+            if not self._handler_absorbs(handler):
+                continue
+            if handler.type is None:
+                names.add("BaseException")  # bare except absorbs all
+            elif isinstance(handler.type, ast.Tuple):
+                for element in handler.type.elts:
+                    simple = _simple(
+                        self.imports.canonical(dotted_name(element)))
+                    if simple:
+                        names.add(simple)
+            else:
+                simple = _simple(
+                    self.imports.canonical(dotted_name(handler.type)))
+                if simple:
+                    names.add(simple)
+        return frozenset(names)
+
+    def visit_Try(self, node: ast.Try):
+        names = self._handler_names(node)
+        self._handler_stack.append(names)
+        for child in node.body:
+            self.visit(child)
+        self._handler_stack.pop()
+        # else shares the try's handlers in CPython only for the body;
+        # handlers / orelse / finalbody run unprotected by *this* try.
+        for handler in node.handlers:
+            for child in handler.body:
+                self.visit(child)
+        for child in node.orelse + node.finalbody:
+            self.visit(child)
+
+    def _covering(self) -> frozenset[str]:
+        out: set[str] = set()
+        for layer in self._handler_stack:
+            out.update(layer)
+        return frozenset(out)
+
+    # -- collection ----------------------------------------------------------
+
+    def visit_Raise(self, node: ast.Raise):
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        simple = _simple(self.imports.canonical(dotted_name(exc)))
+        if simple and simple[0].isupper():
+            self.raises.add((simple, self._covering()))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call):
+        self.call_cover.setdefault(
+            (node.lineno, node.col_offset), self._covering())
+        self.generic_visit(node)
+
+
+class ExceptionFlowRule(ProjectRule):
+    rule_id = "exception-flow"
+    severity = "error"
+    description = ("exceptions escaping a registered entry point must be "
+                   "ReproError subclasses (or the documented builtin "
+                   "programming-error family)")
+    paper_invariant = ("the robustness contract: exact listing or a typed "
+                       "error — an untyped KeyError escaping an engine is "
+                       "indistinguishable from a crash to every caller")
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        entries = graph.entry_points(_registered_entry_keys())
+        if not entries:
+            return
+        hierarchy = _Hierarchy(graph)
+        flows = self._function_flows(project, graph)
+
+        # Fixed point: escapes(f) = raises(f) ∪ Σ (escapes(callee) −
+        # handlers covering the call site).  Monotone over finite sets.
+        escapes: dict[str, set[str]] = {
+            function_id: {
+                name for name, cover in flow.raises
+                if not (cover and hierarchy.caught_by(name, set(cover)))
+            }
+            for function_id, flow in flows.items()
+        }
+        origin: dict[tuple[str, str], str] = {}
+        changed = True
+        while changed:
+            changed = False
+            for function_id, flow in flows.items():
+                current = escapes[function_id]
+                for call in graph.callees(function_id):
+                    incoming = escapes.get(call.callee)
+                    if not incoming:
+                        continue
+                    cover = flow.call_cover.get((call.lineno, call.col),
+                                                frozenset())
+                    for name in incoming:
+                        if name in current:
+                            continue
+                        if cover and hierarchy.caught_by(name, set(cover)):
+                            continue
+                        current.add(name)
+                        origin[(function_id, name)] = call.callee
+                        changed = True
+
+        allowed = hierarchy.typed | _ALLOWED_BUILTINS
+        for entry in entries:
+            flow_escapes = escapes.get(entry.id, set())
+            for name in sorted(flow_escapes - allowed):
+                chain = self._chain(entry.id, name, origin, graph)
+                module = project.by_relpath.get(entry.relpath)
+                if module is None:
+                    continue
+                yield self.project_finding(
+                    module, entry.lineno, entry.col,
+                    f"entry point {entry.qualname!r} can leak {name} "
+                    f"(via {chain}) — wrap it in a repro.errors type or "
+                    f"handle it inside the engine",
+                )
+
+    def _function_flows(self, project: ProjectContext, graph):
+        flows: dict[str, _FunctionFlow] = {}
+        for module in project.modules:
+            imports = ImportTable(module.tree)
+            for symbol in graph.functions.values():
+                if symbol.relpath != module.relpath:
+                    continue
+                node = self._find_def(module.tree, symbol)
+                if node is not None:
+                    flows[symbol.id] = _FunctionFlow(module, node, imports)
+        return flows
+
+    @staticmethod
+    def _find_def(tree: ast.Module, symbol):
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node.name == symbol.name \
+                    and node.lineno == symbol.lineno:
+                return node
+        return None
+
+    @staticmethod
+    def _chain(entry_id: str, name: str, origin, graph) -> str:
+        """Deterministic human-readable escape chain for the message."""
+        parts = []
+        current = entry_id
+        for _ in range(12):
+            nxt = origin.get((current, name))
+            if nxt is None:
+                break
+            symbol = graph.functions.get(nxt)
+            parts.append(symbol.qualname if symbol else nxt)
+            current = nxt
+        if not parts:
+            return "a direct raise"
+        return " -> ".join(parts)

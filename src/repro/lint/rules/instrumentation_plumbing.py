@@ -1,0 +1,118 @@
+"""``instrumentation-plumbing`` — observability kwargs survive call chains.
+
+The per-file ``kwargs-threading`` rule catches an entry point that
+accepts ``report=`` and never *mentions* it.  The failure mode it cannot
+see is one hop deeper: the entry point dutifully passes ``report`` to a
+helper, the helper accepts ``report`` **and** calls the op-charging
+layer below it — which also accepts ``report`` — without forwarding it.
+Every frame looks innocent in isolation; the composed chain silently
+drops the caller's instrumentation, and Eq. 3 op charges vanish from the
+run artifact without failing a single test.
+
+This project rule walks every call edge reachable from a registered
+entry point (``repro.exec.registry.REGISTERED_ENTRY_POINTS``).  For an
+edge ``caller → callee`` and each watched kwarg (``report`` / ``trace``
+/ ``attribution`` / ``fault_plan``): if **both** signatures accept the
+kwarg and the call passes it neither by keyword nor positionally nor via
+``**kwargs``, the call site is a finding — the caller holds exactly the
+object the callee is prepared to thread, and drops it on the floor.
+
+Approximations, documented: only syntactically direct calls are checked
+(edges through ``functools.partial``, registry tables, or bound-method
+aliases are *indirect* — the kwarg may be bound at the partial site);
+a caller that received the kwarg under a different name is invisible
+(renaming is an explicit act, unlike omission); if *any* call between
+the same caller/callee pair forwards the kwarg, sibling calls that omit
+it are taken as deliberate branches (the ``if report is not None: ...
+else: ...`` split every engine uses), not drops; intentionally severed
+plumbing (a callee that must not observe the parent's report) carries a
+justified ``# lint: ignore[instrumentation-plumbing]``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.engine import Finding, ProjectContext, ProjectRule
+
+__all__ = ["InstrumentationPlumbingRule"]
+
+#: The observability / robustness kwargs whose loss is silent.
+WATCHED_KWARGS = ("attribution", "fault_plan", "report", "trace")
+
+
+def _registered_entry_keys() -> frozenset[str]:
+    # Imported lazily so linting arbitrary trees never needs numpy et al.
+    from repro.exec.registry import REGISTERED_ENTRY_POINTS
+
+    return REGISTERED_ENTRY_POINTS
+
+
+class InstrumentationPlumbingRule(ProjectRule):
+    rule_id = "instrumentation-plumbing"
+    severity = "error"
+    description = ("a call from an entry-point-reachable function must "
+                   "forward the report=/trace=/attribution=/fault_plan= "
+                   "kwargs both sides accept")
+    paper_invariant = ("Eq. 3 op conservation end to end: charges are only "
+                       "comparable across engines if every frame of every "
+                       "call chain threads the instruments through")
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        graph = project.graph
+        entries = graph.entry_points(_registered_entry_keys())
+        if not entries:
+            return
+        reachable = graph.reachable([symbol.id for symbol in entries])
+        # (caller, callee, kwarg) triples some edge *does* forward: the
+        # plumbing provably exists, so a sibling call omitting the kwarg
+        # is a None-guard branch, not a break in the chain.
+        forwarded: set[tuple[str, str, str]] = {
+            (call.caller, call.callee, kwarg)
+            for call in graph.calls
+            for kwarg in call.keywords
+            if kwarg in WATCHED_KWARGS
+        }
+        for function_id in sorted(reachable):
+            caller = graph.functions.get(function_id)
+            if caller is None:
+                continue
+            for call in graph.callees(function_id):
+                if call.indirect or call.has_star_kwargs:
+                    continue
+                callee = graph.functions.get(call.callee)
+                if callee is None or callee.relpath == "":
+                    continue
+                dropped = [
+                    kwarg for kwarg in WATCHED_KWARGS
+                    if caller.accepts(kwarg) and callee.accepts(kwarg)
+                    and kwarg not in call.keywords
+                    and (call.caller, call.callee, kwarg) not in forwarded
+                    and not self._covered_positionally(callee, kwarg, call)
+                ]
+                if not dropped:
+                    continue
+                module = project.by_relpath.get(call.relpath)
+                if module is None:
+                    continue
+                names = ", ".join(f"{kwarg}=" for kwarg in dropped)
+                yield self.project_finding(
+                    module, call.lineno, call.col,
+                    f"{caller.qualname!r} holds {names} and calls "
+                    f"{callee.qualname!r}, which accepts "
+                    f"{'them' if len(dropped) > 1 else 'it'}, without "
+                    f"forwarding — the instrumentation chain from the "
+                    f"entry point breaks here",
+                )
+
+    @staticmethod
+    def _covered_positionally(callee, kwarg: str, call) -> bool:
+        """Could the call's positional args already bind *kwarg*?"""
+        if call.has_star_args:
+            return True
+        if kwarg not in callee.params:
+            return False
+        index = callee.params.index(kwarg)
+        if callee.class_name is not None:
+            index -= 1  # `self` is bound by the attribute access
+        return call.nargs > index

@@ -118,6 +118,8 @@ METRIC_NAMES = frozenset({
     "lint.files",
     "lint.findings",
     "lint.rules",
+    "lint.graph.functions",
+    "lint.graph.edges",
 })
 
 #: Every causal trace event name (see the table in :mod:`repro.obs.trace`).

@@ -1,14 +1,19 @@
 """Tier-1 gates for the ``repro.lint`` static-analysis framework.
 
-Four layers of coverage:
+Five layers of coverage:
 
 * **per-rule fixtures** — every registered rule has one true-positive
   and one true-negative fixture; a coverage meta-test fails when a new
-  rule lands without them;
+  rule lands without them (project rules get multi-file fixture trees);
 * **engine semantics** — suppressions, baselines, parse errors,
-  deterministic output;
+  deterministic output (including byte-identical output across
+  ``--jobs`` values and hash seeds);
+* **the call graph** — decorated functions, ``functools.partial``,
+  bound-method aliases, registry-table dispatch, and recursion cycles
+  all resolve to the right edges;
 * **the live gate** — ``src/repro`` itself lints clean with an empty
-  baseline (every accepted finding is a justified inline ignore);
+  baseline and ``--strict-ignores`` (every accepted finding is a
+  justified inline ignore, and every ignore still earns its keep);
 * **the race demo** — a synthetic unguarded shared write injected into
   a copy of ``core/threaded.py`` is caught by the lockset rule, and
   stripping the justified ignores resurfaces the real barrier-safe
@@ -30,6 +35,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.lint import ALL_RULES, Baseline, LintRunner, default_rules
 from repro.lint.cli import run_lint
+from repro.lint.engine import ProjectRule
 from repro.lint.rules.lockset import LocksetRule
 
 pytestmark = [pytest.mark.fast, pytest.mark.lint]
@@ -235,20 +241,147 @@ FIXTURES = {
 }
 
 
-def lint_source(tmp_path, relpath: str, source: str, rules=None):
+# Project rules see whole trees: each fixture is a dict of files whose
+# entry point matches a real ``REGISTERED_ENTRY_POINTS`` key (the fixture
+# path ``repro/core/engine.py`` maps to the package path
+# ``core/engine.py``, so ``triangulate_disk`` resolves as an entry).
+
+_ERRORS_SHIM = """
+    class ReproError(Exception):
+        pass
+
+    class GraphError(ReproError):
+        pass
+"""
+
+PROJECT_FIXTURES = {
+    "instrumentation-plumbing": {
+        "tp": {
+            "repro/core/engine.py": """
+                def triangulate_disk(graph, *, report=None):
+                    return _plan(graph, report=report)
+
+                def _plan(graph, *, report=None):
+                    return _charge(graph)
+
+                def _charge(graph, *, report=None):
+                    return len(graph)
+            """,
+        },
+        "tn": {
+            "repro/core/engine.py": """
+                def triangulate_disk(graph, *, report=None):
+                    return _plan(graph, report=report)
+
+                def _plan(graph, *, report=None):
+                    if report is not None:
+                        return _charge(graph, report=report)
+                    return _charge(graph)
+
+                def _charge(graph, *, report=None):
+                    return len(graph)
+            """,
+        },
+    },
+    "exception-flow": {
+        "tp": {
+            "repro/errors.py": _ERRORS_SHIM,
+            "repro/core/engine.py": """
+                def triangulate_disk(graph, *, report=None):
+                    return _next_page(graph)
+
+                def _next_page(graph):
+                    if not graph:
+                        raise KeyError("no pages")
+                    return graph[0]
+            """,
+        },
+        "tn": {
+            "repro/errors.py": _ERRORS_SHIM,
+            "repro/core/engine.py": """
+                from repro.errors import GraphError
+
+                def triangulate_disk(graph, *, report=None):
+                    try:
+                        return _next_page(graph)
+                    except LookupError as exc:
+                        raise GraphError("empty graph") from exc
+
+                def _next_page(graph):
+                    if not graph:
+                        raise KeyError("no pages")
+                    return graph[0]
+            """,
+        },
+    },
+    "resource-lifecycle": {
+        "tp": {
+            "repro/core/engine.py": """
+                from multiprocessing import shared_memory
+
+                def triangulate_disk(graph, *, report=None):
+                    segment = _publish(bytes(8))
+                    return len(graph)
+
+                def _publish(payload):
+                    # lint: ignore[shm-lifecycle] ownership transfers out
+                    segment = shared_memory.SharedMemory(create=True,
+                                                         size=len(payload))
+                    segment.buf[:len(payload)] = payload
+                    return segment
+            """,
+        },
+        "tn": {
+            "repro/core/engine.py": """
+                from multiprocessing import shared_memory
+
+                def triangulate_disk(graph, *, report=None):
+                    segment = _publish(bytes(8))
+                    try:
+                        return len(graph)
+                    finally:
+                        segment.close()
+                        segment.unlink()
+
+                def _publish(payload):
+                    # lint: ignore[shm-lifecycle] ownership transfers out
+                    segment = shared_memory.SharedMemory(create=True,
+                                                         size=len(payload))
+                    segment.buf[:len(payload)] = payload
+                    return segment
+            """,
+        },
+    },
+}
+
+
+def lint_source(tmp_path, relpath: str, source: str, rules=None, **kwargs):
     """Write one dedented fixture and run the engine over the tree."""
-    target = tmp_path / relpath
-    target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_tree(tmp_path, {relpath: source}, rules=rules, **kwargs)
+
+
+def lint_tree(tmp_path, files: dict, rules=None, **kwargs):
+    """Write a dict of ``relpath -> source`` fixtures and lint the tree."""
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    build = kwargs.pop("build_graph", False)
     runner = LintRunner(rules if rules is not None else default_rules(),
-                        root=tmp_path)
-    return runner.run([tmp_path])
+                        root=tmp_path, **kwargs)
+    return runner.run([tmp_path], build_graph=build)
 
 
 def test_every_rule_has_fixtures():
-    assert set(FIXTURES) == {cls.rule_id for cls in ALL_RULES}
+    project_ids = {cls.rule_id for cls in ALL_RULES
+                   if issubclass(cls, ProjectRule)}
+    file_ids = {cls.rule_id for cls in ALL_RULES} - project_ids
+    assert set(FIXTURES) == file_ids
+    assert set(PROJECT_FIXTURES) == project_ids
     for spec in FIXTURES.values():
         assert spec["tp"] and spec["tn"] and spec["path"]
+    for spec in PROJECT_FIXTURES.values():
+        assert spec["tp"] and spec["tn"]
 
 
 @pytest.mark.parametrize("rule_id", sorted(FIXTURES))
@@ -267,6 +400,34 @@ def test_true_negative(tmp_path, rule_id):
     result = lint_source(tmp_path, spec["path"], spec["tn"])
     hits = [f.format() for f in result.findings if f.rule_id == rule_id]
     assert not hits, f"{rule_id}: TN fixture flagged: {hits}"
+
+
+@pytest.mark.parametrize("rule_id", sorted(PROJECT_FIXTURES))
+def test_project_rule_true_positive(tmp_path, rule_id):
+    result = lint_tree(tmp_path, PROJECT_FIXTURES[rule_id]["tp"])
+    hits = [f for f in result.findings if f.rule_id == rule_id]
+    assert hits, (f"{rule_id}: expected a finding in the TP tree, got "
+                  f"{[f.format() for f in result.findings]}")
+
+
+@pytest.mark.parametrize("rule_id", sorted(PROJECT_FIXTURES))
+def test_project_rule_true_negative(tmp_path, rule_id):
+    result = lint_tree(tmp_path, PROJECT_FIXTURES[rule_id]["tn"])
+    hits = [f.format() for f in result.findings if f.rule_id == rule_id]
+    assert not hits, f"{rule_id}: TN tree flagged: {hits}"
+
+
+def test_project_finding_is_suppressible(tmp_path):
+    """Inline ignores work on interprocedural findings too."""
+    files = dict(PROJECT_FIXTURES["instrumentation-plumbing"]["tp"])
+    source = textwrap.dedent(files["repro/core/engine.py"]).replace(
+        "return _charge(graph)",
+        "return _charge(graph)  # lint: ignore[instrumentation-plumbing]")
+    files["repro/core/engine.py"] = source
+    result = lint_tree(tmp_path, files)
+    assert not [f for f in result.findings
+                if f.rule_id == "instrumentation-plumbing"]
+    assert result.suppressed >= 1
 
 
 # ---------------------------------------------------------------------------
@@ -525,6 +686,126 @@ def test_unknown_rule_id_rejected():
         default_rules({"no-such-rule"})
 
 
+# ---------------------------------------------------------------------------
+# call graph: resolution edge cases
+# ---------------------------------------------------------------------------
+
+def build_graph(tmp_path, files: dict):
+    """Lint a fixture tree with no rules, returning only the call graph."""
+    result = lint_tree(tmp_path, files, rules=[], build_graph=True)
+    assert result.graph is not None
+    return result.graph
+
+
+def _edge_pairs(graph):
+    return {(c.caller, c.callee, c.indirect) for c in graph.calls}
+
+
+def test_callgraph_decorated_function_and_cycle(tmp_path):
+    graph = build_graph(tmp_path, {"repro/core/fib.py": """
+        import functools
+
+        @functools.lru_cache(maxsize=None)
+        def fib(n):
+            return fib(n - 1) + helper(n)
+
+        def helper(n):
+            return fib(n - 2)
+    """})
+    fib = "repro/core/fib.py::fib"
+    helper = "repro/core/fib.py::helper"
+    assert "functools.lru_cache" in graph.functions[fib].decorators
+    pairs = _edge_pairs(graph)
+    assert (fib, helper, False) in pairs
+    assert (helper, fib, False) in pairs
+    assert (fib, fib, False) in pairs  # recursion
+    # A call cycle must not hang reachability.
+    assert graph.reachable([fib]) == {fib, helper}
+
+
+def test_callgraph_functools_partial_is_indirect_edge(tmp_path):
+    graph = build_graph(tmp_path, {"repro/core/part.py": """
+        import functools
+
+        def base(x, report=None):
+            return x
+
+        bound = functools.partial(base, 1)
+
+        def run():
+            return bound()
+    """})
+    pairs = _edge_pairs(graph)
+    assert ("repro/core/part.py::<module>",
+            "repro/core/part.py::base", True) in pairs
+    assert ("repro/core/part.py::run",
+            "repro/core/part.py::base", True) in pairs
+
+
+def test_callgraph_bound_method_alias(tmp_path):
+    graph = build_graph(tmp_path, {"repro/core/step.py": """
+        class Stepper:
+            def _advance(self):
+                return 1
+
+            def run(self):
+                step = self._advance
+                return step()
+    """})
+    assert ("repro/core/step.py::Stepper.run",
+            "repro/core/step.py::Stepper._advance", True) \
+        in _edge_pairs(graph)
+
+
+def test_callgraph_registry_table_dispatch_fans_out(tmp_path):
+    graph = build_graph(tmp_path, {"repro/exec/reg.py": """
+        def engine_a(graph):
+            return 1
+
+        def engine_b(graph):
+            return 2
+
+        ENGINES = {"a": engine_a, "b": engine_b}
+
+        def dispatch(key, graph):
+            return ENGINES[key](graph)
+    """})
+    pairs = _edge_pairs(graph)
+    assert ("repro/exec/reg.py::dispatch",
+            "repro/exec/reg.py::engine_a", True) in pairs
+    assert ("repro/exec/reg.py::dispatch",
+            "repro/exec/reg.py::engine_b", True) in pairs
+
+
+def test_callgraph_cross_module_and_entry_resolution(tmp_path):
+    graph = build_graph(tmp_path, {
+        "repro/core/engine.py": """
+            from repro.core.planner import plan
+
+            def triangulate_disk(graph, *, report=None):
+                return plan(graph)
+        """,
+        "repro/core/planner.py": """
+            def plan(graph):
+                return len(graph)
+        """,
+    })
+    entry = graph.resolve_entry("core/engine.py::triangulate_disk")
+    assert entry is not None
+    assert ("repro/core/engine.py::triangulate_disk",
+            "repro/core/planner.py::plan", False) in _edge_pairs(graph)
+
+
+def test_callgraph_exports_are_deterministic(tmp_path):
+    files = {"repro/core/fib.py": FIXTURES["mutable-default"]["tp"]}
+    first = build_graph(tmp_path / "a", files)
+    second = build_graph(tmp_path / "b", files)
+    assert json.dumps(first.to_json_dict(), sort_keys=True) \
+        == json.dumps(second.to_json_dict(), sort_keys=True)
+    assert first.to_dot() == second.to_dot()
+    assert first.to_json_dict()["schema"] == "repro.lint/callgraph"
+
+
 def test_findings_sorted_and_repeatable(tmp_path):
     for name, spec in list(FIXTURES.items())[:4]:
         target = tmp_path / spec["path"]
@@ -660,6 +941,94 @@ def test_json_output_byte_identical_across_hash_seeds(tmp_path):
     assert len(payload["new"]) >= 3
 
 
+def test_cli_jobs_output_byte_identical(tmp_path):
+    """--jobs N parallelism must never reorder or change output."""
+    for rule_id in ("mutable-default", "error-types", "set-iteration"):
+        spec = FIXTURES[rule_id]
+        target = tmp_path / spec["path"]
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(spec["tp"]), encoding="utf-8")
+    argv = [str(tmp_path), "--root", str(tmp_path), "--format", "json",
+            "--baseline", str(tmp_path / "absent.json")]
+    outputs = {jobs: _cli(argv + ["--jobs", str(jobs)]) for jobs in (1, 4, 7)}
+    assert outputs[1] == outputs[4] == outputs[7]
+    assert outputs[1][0] == 1
+
+
+def test_cli_graph_json_export(tmp_path):
+    files = PROJECT_FIXTURES["instrumentation-plumbing"]["tp"]
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    code, text = _cli([str(tmp_path), "--root", str(tmp_path),
+                       "--graph", "json"])
+    assert code == 0  # pure export: findings never affect the exit code
+    payload = json.loads(text)
+    assert payload["schema"] == "repro.lint/callgraph"
+    ids = {f["id"] for f in payload["functions"]}
+    assert "repro/core/engine.py::triangulate_disk" in ids
+    assert payload["edges"]
+
+
+def test_cli_graph_dot_export(tmp_path):
+    (tmp_path / "repro").mkdir(parents=True)
+    (tmp_path / "repro/mod.py").write_text(
+        "def f():\n    return g()\n\ndef g():\n    return 1\n",
+        encoding="utf-8")
+    code, text = _cli([str(tmp_path), "--root", str(tmp_path),
+                       "--graph", "dot"])
+    assert code == 0
+    assert text.startswith("digraph callgraph {")
+    assert '"repro/mod.py::f" -> "repro/mod.py::g"' in text
+
+
+def test_strict_ignores_flags_unused_suppression(tmp_path):
+    result = lint_source(tmp_path, "repro/core/s.py", """
+        x = 1  # lint: ignore[lockset]
+    """, strict_ignores=True)
+    assert [f.rule_id for f in result.findings] == ["unused-suppression"]
+
+
+def test_strict_ignores_keeps_working_suppressions(tmp_path):
+    result = lint_source(tmp_path, "repro/core/s.py", """
+        def gather(items=[]):  # lint: ignore[mutable-default] fixture
+            return items
+    """, strict_ignores=True)
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_strict_ignores_off_by_default(tmp_path):
+    result = lint_source(tmp_path, "repro/core/s.py", """
+        x = 1  # lint: ignore[lockset]
+    """)
+    assert result.findings == []
+
+
+def test_cli_expire_baselines_prunes_stale_entries(tmp_path):
+    target = tmp_path / "repro/core/defaults.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(textwrap.dedent(FIXTURES["mutable-default"]["tp"]))
+    baseline = tmp_path / "baseline.json"
+    argv = [str(tmp_path), "--root", str(tmp_path),
+            "--baseline", str(baseline)]
+    assert _cli(argv + ["--write-baseline"])[0] == 0
+
+    # Nothing stale yet: the gate passes and the file is untouched.
+    before = baseline.read_text(encoding="utf-8")
+    assert _cli(argv + ["--expire-baselines"])[0] == 0
+    assert baseline.read_text(encoding="utf-8") == before
+
+    # Fix the tree: the entry is stale; --expire-baselines exits 1 and
+    # rewrites the baseline so the debt cannot be re-spent.
+    target.write_text(textwrap.dedent(FIXTURES["mutable-default"]["tn"]))
+    code, text = _cli(argv + ["--expire-baselines"])
+    assert code == 1 and "1 stale baseline entry dropped" in text
+    assert len(Baseline.load(baseline)) == 0
+    assert _cli(argv + ["--expire-baselines"])[0] == 0  # now converged
+
+
 def test_umbrella_cli_lint_subcommand(tmp_path, capsys):
     from repro.cli import main as repro_main
 
@@ -671,8 +1040,11 @@ def test_umbrella_cli_lint_subcommand(tmp_path, capsys):
 
 
 def test_repo_tree_lints_clean(tmp_path):
-    """The gate: src/repro has zero new findings with an empty baseline."""
+    """The gate: src/repro has zero new findings with an empty baseline,
+    even with --strict-ignores (every inline ignore still suppresses a
+    real finding — stale excuses are findings themselves)."""
     code, text = _cli([str(ROOT / "src" / "repro"), "--root", str(ROOT),
-                       "--baseline", str(tmp_path / "absent.json")])
+                       "--baseline", str(tmp_path / "absent.json"),
+                       "--strict-ignores"])
     assert code == 0, f"lint gate failed:\n{text}"
     assert "0 new finding(s)" in text
