@@ -2,16 +2,25 @@
 
 Unlike the simulated experiments, this one measures actual Python wall
 time: EdgeIterator≻ over the LJ stand-in with each intersection kernel
-(numpy, merge, hash, gallop).  All kernels must produce identical
-triangle counts; the reported op counts follow each kernel's own measure.
+(numpy, merge, hash, gallop, adaptive).  All kernels must produce
+identical triangle counts; the reported op counts follow each kernel's
+own measure — and the adaptive kernel's range-pruned Eq. 3 bill must
+come in at or below the hash reference's ``min(|a|, |b|)``.
+
+The sweep also emits ``BENCH_ablation_kernels.json`` for the CI
+regression gate: its headline (``derived.elapsed_simulated``) is the
+adaptive kernel's charged ops priced at the cost model's per-op time, a
+machine-independent figure ``compare_reports.py`` can diff at a strict
+threshold.
 """
 
 from __future__ import annotations
 
 import time
 
-from _helpers import once, prepared, report
+from _helpers import COST, emit_bench_report, once, prepared, report
 from repro.memory import edge_iterator
+from repro.obs import RunReport
 from repro.util.intersect import IntersectionKernel
 from repro.util.tables import format_table
 
@@ -47,3 +56,22 @@ def test_ablation_kernels(benchmark):
     assert len(counts) == 1
     # The hash kernel's charge is the paper's min() measure.
     assert results["hash"][1] == results["numpy"][1]
+    # Range pruning never charges above the hash min, and on the skewed
+    # LJ stand-in it strictly undercuts it.
+    assert results["adaptive"][1] < results["hash"][1]
+
+    obs = RunReport("ablation-kernels-LJ", meta={
+        "dataset": "LJ",
+        "engine": "exec.compose",
+        "kernels": [kernel.value for kernel in IntersectionKernel],
+    })
+    for kernel, (triangles, ops, wall) in results.items():
+        obs.counter("exec.triangles", kernel=kernel).inc(triangles)
+        obs.counter("exec.ops", kernel=kernel).inc(ops)
+        obs.derive(f"wall_{kernel}", wall)
+    total_wall = sum(wall for _, _, wall in results.values())
+    obs.gauge("run.elapsed_wall").set(total_wall)
+    # Deterministic headline: the adaptive bill priced per-op, so the CI
+    # gate diffs op-count regressions, not runner-to-runner wall noise.
+    obs.derive("elapsed_simulated", results["adaptive"][1] * COST.op_time)
+    emit_bench_report("ablation_kernels", obs)

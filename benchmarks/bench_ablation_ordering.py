@@ -1,4 +1,4 @@
-"""Ablation — the degree-based vertex ordering (Schank & Wagner).
+"""Ablation — the vertex-ordering catalogue (Schank & Wagner and beyond).
 
 The paper attributes order-of-magnitude gains on power-law graphs to the
 degree-based id heuristic (Section 2.2): giving high-degree vertices high
@@ -8,18 +8,28 @@ vertex-iterator's successor-pair probes; the idealized O(1)-hash probe
 count ``min(|n_succ(u)|, |n_succ(v)|)`` is far less sensitive, which this
 ablation also demonstrates (it is the *reason* the paper's Eq. 3 analysis
 needs the hash assumption).
+
+The sweep now also covers the degeneracy (core-peel) and BFS-locality
+orders plus the measured ``auto`` selector, and asserts that ``auto``
+lands on the cheapest hash bill among its candidates on both datasets.
+``BENCH_ablation_ordering.json`` carries the figures for the CI
+regression gate with a deterministic op-priced headline.
 """
 
 from __future__ import annotations
 
-from _helpers import once, report
+from _helpers import COST, emit_bench_report, once, report
 from repro.graph import datasets
-from repro.graph.ordering import apply_ordering
+from repro.graph.ordering import AUTO_CANDIDATES, apply_ordering, choose_ordering
 from repro.memory import edge_iterator, vertex_iterator
+from repro.obs import RunReport
 from repro.util.tables import format_table
 
 DATASET_NAMES = ["LJ", "TWITTER"]
-ORDERINGS = ["degree", "natural", "random", "reverse-degree"]
+#: The original Schank-Wagner ablation axis (the classic baselines)...
+CLASSIC_ORDERINGS = ["degree", "natural", "random", "reverse-degree"]
+#: ...plus the structural orders and the measured selector.
+ORDERINGS = CLASSIC_ORDERINGS + ["degeneracy", "locality", "auto"]
 
 
 def sweep(name: str) -> dict[str, tuple[int, int, int]]:
@@ -31,6 +41,7 @@ def sweep(name: str) -> dict[str, tuple[int, int, int]]:
         merge_ops = edge_iterator(graph, kernel="merge").cpu_ops
         vi_ops = vertex_iterator(graph).cpu_ops
         results[ordering] = (hash_ops, merge_ops, vi_ops)
+    results["auto->"] = (choose_ordering(datasets.load(name)).value, 0, 0)
     return results
 
 
@@ -42,8 +53,11 @@ def test_ablation_ordering(benchmark):
         base_vi = results[name]["degree"][2]
         for ordering in ORDERINGS:
             hash_ops, merge_ops, vi_ops = results[name][ordering]
+            label = ordering
+            if ordering == "auto":
+                label = f"auto ({results[name]['auto->'][0]})"
             rows.append((
-                name, ordering, hash_ops, merge_ops,
+                name, label, hash_ops, merge_ops,
                 f"{merge_ops / base_merge:.2f}",
                 vi_ops, f"{vi_ops / base_vi:.2f}",
             ))
@@ -57,14 +71,43 @@ def test_ablation_ordering(benchmark):
                   "scan-based costs collapse under the degree order)",
         ),
     )
+    candidate_names = [ordering.value for ordering in AUTO_CANDIDATES]
     for name in DATASET_NAMES:
         r = results[name]
-        # Degree ordering minimizes every scan-based cost...
-        assert r["degree"][1] == min(v[1] for v in r.values()), name
-        assert r["degree"][2] == min(v[2] for v in r.values()), name
+        classic = {o: r[o] for o in CLASSIC_ORDERINGS}
+        # Among the classic baselines, degree minimizes every scan cost...
+        assert classic["degree"][1] == min(v[1] for v in classic.values()), name
+        assert classic["degree"][2] == min(v[2] for v in classic.values()), name
         # ...with a substantial factor over the pessimal ordering.
         assert r["reverse-degree"][1] > 1.6 * r["degree"][1], name
         assert r["reverse-degree"][2] > 2.0 * r["degree"][2], name
-        # The idealized hash measure moves much less (within ~25%).
-        hash_values = [v[0] for v in r.values()]
+        # The idealized hash measure moves much less across the classics
+        # (within ~25%).
+        hash_values = [v[0] for v in classic.values()]
         assert max(hash_values) / min(hash_values) < 1.3, name
+        # The measured selector lands on the cheapest hash bill among
+        # its candidates, and the relabeled run reproduces that bill.
+        assert r["auto->"][0] in candidate_names, name
+        assert r["auto"][0] == min(r[c][0] for c in candidate_names), name
+        assert r["auto"] == r[r["auto->"][0]], name
+
+    obs = RunReport("ablation-ordering", meta={
+        "datasets": DATASET_NAMES,
+        "orderings": ORDERINGS,
+        "auto_resolution": {name: results[name]["auto->"][0]
+                            for name in DATASET_NAMES},
+    })
+    total_auto_ops = 0
+    for name in DATASET_NAMES:
+        for ordering in ORDERINGS:
+            hash_ops, merge_ops, vi_ops = results[name][ordering]
+            obs.counter("exec.ops", dataset=name, ordering=ordering,
+                        kernel="hash").inc(hash_ops)
+            obs.counter("exec.ops", dataset=name, ordering=ordering,
+                        kernel="merge").inc(merge_ops)
+        total_auto_ops += results[name]["auto"][0]
+    # Deterministic headline: the auto-selected hash bill priced per-op
+    # across both datasets — regressions in either the selector or the
+    # orders themselves move it.
+    obs.derive("elapsed_simulated", total_auto_ops * COST.op_time)
+    emit_bench_report("ablation_ordering", obs)

@@ -785,8 +785,13 @@ def build_parser() -> argparse.ArgumentParser:
         group = p.add_mutually_exclusive_group(required=True)
         group.add_argument("--input", help="edge-list (.txt) or binary (.bin) graph")
         group.add_argument("--dataset", help="named stand-in (LJ, ORKUT, ...)")
-        p.add_argument("--ordering", choices=["natural", "degree", "random"],
-                       default="degree")
+        p.add_argument("--ordering",
+                       choices=["natural", "degree", "reverse-degree",
+                                "random", "degeneracy", "locality", "auto"],
+                       default="degree",
+                       help="vertex-id relabeling applied after load; "
+                            "'auto' measures the Eq. 3 bill of each "
+                            "candidate and picks the cheapest")
 
     tri = sub.add_parser("triangulate", help="run a triangulation method")
     add_input_args(tri)
@@ -803,9 +808,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="graph source for --method compose: heap CSR, "
                           "POSIX shared-memory CSR, or paged disk store")
     tri.add_argument("--kernel", default="hash",
-                     choices=["hash", "merge", "gallop", "bitmap"],
+                     choices=["hash", "merge", "gallop", "bitmap",
+                              "adaptive"],
                      help="intersection kernel for --method compose "
-                          "(hash charges the paper's Eq. 3 probe count)")
+                          "(hash charges the paper's Eq. 3 probe count; "
+                          "adaptive range-prunes and picks a data path "
+                          "per pair)")
     tri.add_argument("--executor", default="serial",
                      choices=["serial", "threaded", "process"],
                      help="execution strategy for --method compose; "
@@ -957,7 +965,8 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["memory", "shm", "disk"],
                      help="graph source for --method compose")
     pro.add_argument("--kernel", default="hash",
-                     choices=["hash", "merge", "gallop", "bitmap"],
+                     choices=["hash", "merge", "gallop", "bitmap",
+                              "adaptive"],
                      help="intersection kernel for --method compose")
     pro.add_argument("--executor", default="serial",
                      choices=["serial", "threaded", "process"],

@@ -12,7 +12,8 @@ the per-pair kernel choice AOT argues for):
   read through a buffer manager (:mod:`repro.exec.sources`);
 * **Kernel** — how two sorted lists are intersected and how the Eq. 3
   operation count is charged: analytic hash probes, two-pointer merge,
-  galloping search, or a dense bitmap (:mod:`repro.exec.kernels`);
+  galloping search, a dense bitmap, or the range-pruned adaptive
+  selector over all three data paths (:mod:`repro.exec.kernels`);
 * **Executor** — who drives the vertex ranges: a serial loop, a thread
   pool, or a forked process pool over shared memory
   (:mod:`repro.exec.executors`).
@@ -29,7 +30,14 @@ can silently escape the differential harness.
 
 from repro.exec.engine import Engine, EngineOutcome, compose, run_range, split_ranges
 from repro.exec.executors import ProcessExecutor, SerialExecutor, ThreadedExecutor
-from repro.exec.kernels import BitmapKernel, GallopKernel, HashKernel, Kernel, MergeKernel
+from repro.exec.kernels import (
+    AdaptiveKernel,
+    BitmapKernel,
+    GallopKernel,
+    HashKernel,
+    Kernel,
+    MergeKernel,
+)
 from repro.exec.protocols import Executor, Source, SourceHandle
 from repro.exec.registry import (
     EXECUTORS,
@@ -47,6 +55,7 @@ from repro.exec.registry import (
 from repro.exec.sources import DiskSource, MemorySource, SharedMemorySource
 
 __all__ = [
+    "AdaptiveKernel",
     "BitmapKernel",
     "CellSpec",
     "DiskSource",

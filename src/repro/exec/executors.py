@@ -39,6 +39,22 @@ def _merge_io(totals: dict[str, int], stats: dict[str, int]) -> None:
         totals[key] = totals.get(key, 0) + int(value)
 
 
+def _merge_branches(totals: dict[str, list[int]],
+                    stats: dict[str, list[int]]) -> None:
+    """Fold one binding's ``{branch: [pairs, ops]}`` tally into *totals*.
+
+    Integer sums, so the merged tally is independent of chunking and
+    scheduling — the same invariance the op-conservation checks pin.
+    """
+    for branch, (pairs, ops) in stats.items():
+        cell = totals.get(branch)
+        if cell is None:
+            totals[branch] = [int(pairs), int(ops)]
+        else:
+            cell[0] += int(pairs)
+            cell[1] += int(ops)
+
+
 def _scope_for(attribution, source: Source, kernel: Kernel):
     """The ``(exec, kernel, source)`` charging scope, or ``None``.
 
@@ -67,7 +83,8 @@ class SerialExecutor:
                 scope=_scope_for(attribution, source, kernel))
             return EngineOutcome(triangles=triangles, cpu_ops=ops,
                                  groups=groups, chunks=1,
-                                 io=dict(handle.io_stats()))
+                                 io=dict(handle.io_stats()),
+                                 branches=binding.stats())
 
 
 class ThreadedExecutor:
@@ -103,27 +120,30 @@ class ThreadedExecutor:
                 triangles, ops, groups = run_range(
                     local, binding, lo, hi, collect,
                     scope=_scope_for(table, source, kernel))
-                return triangles, ops, groups, local.io_stats(), table
+                return (triangles, ops, groups, local.io_stats(), table,
+                        binding.stats())
 
             outcome = EngineOutcome(chunks=len(ranges))
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                for triangles, ops, groups, stats, table in pool.map(job,
-                                                                     ranges):
+                for (triangles, ops, groups, stats, table,
+                     branches) in pool.map(job, ranges):
                     outcome.triangles += triangles
                     outcome.cpu_ops += ops
                     outcome.groups.extend(groups)
                     _merge_io(outcome.io, stats)
+                    _merge_branches(outcome.branches, branches)
                     if table is not None:
                         attribution.merge(table)
             return outcome
 
 
-def _process_job(args) -> tuple[int, int, list, dict | None]:
+def _process_job(args) -> tuple[int, int, list, dict | None, dict]:
     """Forked worker body: attach, run one range, detach.
 
     *attr_source* is the source name to attribute under, or ``None``
     when the parent did not ask for attribution; the worker's table
-    crosses the process boundary as a plain-dict snapshot.
+    crosses the process boundary as a plain-dict snapshot, and the
+    binding's per-branch tally as a plain dict.
     """
     csr_handle, kernel_name, lo, hi, collect, attr_source = args
     from repro.exec import registry
@@ -143,7 +163,7 @@ def _process_job(args) -> tuple[int, int, list, dict | None]:
         triangles, ops, groups = run_range(_AttachedHandle(graph), binding,
                                            lo, hi, collect, scope=scope)
         snapshot = table.snapshot() if table is not None else None
-        return triangles, ops, groups, snapshot
+        return triangles, ops, groups, snapshot, binding.stats()
     finally:
         # Views into the shared buffers must die before close().
         graph = None
@@ -196,11 +216,12 @@ class ProcessExecutor:
             ctx = mp.get_context("fork")
             outcome = EngineOutcome(chunks=len(ranges))
             with ctx.Pool(processes=min(self.workers, len(jobs))) as pool:
-                for triangles, ops, groups, snapshot in pool.map(_process_job,
-                                                                 jobs):
+                for (triangles, ops, groups, snapshot,
+                     branches) in pool.map(_process_job, jobs):
                     outcome.triangles += triangles
                     outcome.cpu_ops += ops
                     outcome.groups.extend(groups)
+                    _merge_branches(outcome.branches, branches)
                     if snapshot is not None:
                         attribution.merge_snapshot(snapshot)
             outcome.io = dict(handle.io_stats())

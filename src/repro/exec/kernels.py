@@ -1,6 +1,6 @@
 """Intersection kernels: the Kernel axis of the composition layer.
 
-Four strategies, all operating on sorted duplicate-free id arrays and
+Five strategies, all operating on sorted duplicate-free id arrays and
 all returning ``(common, ops)``:
 
 * ``hash`` — the canonical Eq. 3 kernel: the fast numpy intersection
@@ -16,6 +16,11 @@ all returning ``(common, ops)``:
   Charges the same analytic ``min(|a|, |b|)`` as ``hash`` (one probe
   per shorter-side member), so bitmap cells cross-check the Eq. 3
   conservation property through a completely different data path.
+* ``adaptive`` — AOT-style per-pair selection: range-prune both lists,
+  charge the Eq. 3 min over the *pruned* lists (≤ every fixed kernel's
+  charge, strictly below on partial range overlap), then route the pair
+  to the merge / gallop / bitmap data path by pruned skew ratio.  See
+  ``docs/kernels.md`` for the selection rule and thresholds.
 
 Kernels are stateless and picklable by *name* (the process executor
 re-resolves them in workers via :mod:`repro.exec.registry`); per-graph
@@ -29,13 +34,15 @@ from typing import Sequence
 import numpy as np
 
 from repro.util.intersect import (
+    adaptive_intersect_detail,
     gallop_intersect,
     intersect_count_ops,
     intersect_sorted,
     merge_intersect,
 )
 
-__all__ = ["BitmapKernel", "GallopKernel", "HashKernel", "Kernel", "MergeKernel"]
+__all__ = ["AdaptiveKernel", "BitmapKernel", "GallopKernel", "HashKernel",
+           "Kernel", "MergeKernel"]
 
 
 class Kernel:
@@ -76,6 +83,11 @@ class KernelBinding:
 
     def intersect(self, prepped, row: np.ndarray) -> tuple[Sequence[int], int]:
         return self._kernel._intersect(prepped, row)
+
+    def stats(self) -> dict[str, list[int]]:
+        """Per-branch ``{branch: [pairs, ops]}`` — empty for fixed-path
+        kernels; the adaptive binding reports its selector's decisions."""
+        return {}
 
 
 class HashKernel(Kernel):
@@ -146,3 +158,50 @@ class _BitmapBinding:
         common = shorter[mask[shorter]]
         mask[longer] = False
         return common, len(shorter)
+
+    def stats(self) -> dict[str, list[int]]:
+        return {}
+
+
+class AdaptiveKernel(Kernel):
+    """Range-pruned per-pair strategy selection (AOT-style).
+
+    Every pair is first range-pruned (each list restricted to the
+    other's ``[min, max]`` span) and charged the Eq. 3 min over the
+    *pruned* lists — ≤ the hash kernel's ``min(|a|, |b|)`` always,
+    strictly below it whenever successor ranges only partially overlap.
+    The pruned skew ratio then routes the pair to merge / gallop /
+    bitmap data paths (see
+    :func:`repro.util.intersect.adaptive_intersect_detail`); the binding
+    owns the graph-sized bitmap scratch mask and tallies pairs and ops
+    per branch, which the engine surfaces as the labelled
+    ``exec.branch.*`` counters.
+    """
+
+    name = "adaptive"
+
+    def bind(self, num_vertices: int) -> "KernelBinding":
+        return _AdaptiveBinding(num_vertices)
+
+
+class _AdaptiveBinding:
+    name = "adaptive"
+
+    def __init__(self, num_vertices: int):
+        self._mask = np.zeros(num_vertices, dtype=bool)
+        self._branches: dict[str, list[int]] = {}
+
+    def prep(self, row: np.ndarray) -> np.ndarray:
+        return row
+
+    def intersect(self, a: np.ndarray, b: np.ndarray) -> tuple[Sequence[int], int]:
+        common, ops, branch = adaptive_intersect_detail(a, b, self._mask)
+        cell = self._branches.get(branch)
+        if cell is None:
+            cell = self._branches[branch] = [0, 0]
+        cell[0] += 1
+        cell[1] += ops
+        return common, ops
+
+    def stats(self) -> dict[str, list[int]]:
+        return {branch: list(cell) for branch, cell in self._branches.items()}

@@ -103,6 +103,11 @@ class KernelBinding(Protocol):
         """``(common, ops)`` for one ``n_succ(u) ∩ n_succ(v)`` pair."""
         ...
 
+    def stats(self) -> dict[str, list[int]]:
+        """Per-branch ``{branch: [pairs, ops]}`` tally (``{}`` for
+        fixed-path kernels; the adaptive kernel reports its selector)."""
+        ...
+
 
 @runtime_checkable
 class Executor(Protocol):

@@ -27,7 +27,13 @@ from typing import Callable, Iterator
 
 from repro.errors import ConfigurationError
 from repro.exec.executors import ProcessExecutor, SerialExecutor, ThreadedExecutor
-from repro.exec.kernels import BitmapKernel, GallopKernel, HashKernel, MergeKernel
+from repro.exec.kernels import (
+    AdaptiveKernel,
+    BitmapKernel,
+    GallopKernel,
+    HashKernel,
+    MergeKernel,
+)
 from repro.exec.sources import DiskSource, MemorySource, SharedMemorySource
 
 __all__ = [
@@ -64,6 +70,7 @@ KERNELS = {
     "merge": MergeKernel,
     "gallop": GallopKernel,
     "bitmap": BitmapKernel,
+    "adaptive": AdaptiveKernel,
 }
 
 #: Executor name -> class.  Instantiation goes through :func:`make_executor`.
@@ -313,6 +320,7 @@ def _composed_methods() -> list[tuple[str, Callable]]:
     witnesses = [
         ("memory", "merge", "serial"),
         ("memory", "gallop", "threaded"),
+        ("memory", "adaptive", "serial"),
         ("disk", "bitmap", "serial"),
         ("shm", "hash", "process"),
     ]

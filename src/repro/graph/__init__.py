@@ -1,18 +1,34 @@
 """Graph substrate: CSR graphs, builders, generators, orderings, metrics."""
 
 from repro.graph.builder import GraphBuilder, from_edges
-from repro.graph.cores import core_numbers, degeneracy, degeneracy_arboricity_bounds
+from repro.graph.cores import (
+    core_decomposition,
+    core_numbers,
+    degeneracy,
+    degeneracy_arboricity_bounds,
+    peeling_order,
+)
 from repro.graph.graph import Graph
-from repro.graph.ordering import Ordering, apply_ordering, degree_order_mapping
+from repro.graph.ordering import (
+    Ordering,
+    apply_ordering,
+    choose_ordering,
+    degree_order_mapping,
+    ordering_op_cost,
+)
 
 __all__ = [
     "Graph",
+    "core_decomposition",
     "core_numbers",
     "degeneracy",
     "degeneracy_arboricity_bounds",
+    "peeling_order",
     "GraphBuilder",
     "Ordering",
     "apply_ordering",
+    "choose_ordering",
     "degree_order_mapping",
+    "ordering_op_cost",
     "from_edges",
 ]

@@ -15,14 +15,26 @@ import numpy as np
 
 from repro.graph.graph import Graph
 
-__all__ = ["core_numbers", "degeneracy", "degeneracy_arboricity_bounds"]
+__all__ = [
+    "core_decomposition",
+    "core_numbers",
+    "degeneracy",
+    "degeneracy_arboricity_bounds",
+    "peeling_order",
+]
 
 
-def core_numbers(graph: Graph) -> np.ndarray:
-    """Core number of every vertex (bucket-queue peeling, O(|E|))."""
+def core_decomposition(graph: Graph) -> tuple[np.ndarray, np.ndarray]:
+    """``(core, order)`` from one bucket-queue peeling pass (O(|E|)).
+
+    ``core[v]`` is the core number of vertex ``v``; ``order[i]`` is the
+    vertex peeled *i*-th.  Core numbers are non-decreasing along the
+    peel sequence (the current peeling level never drops), which is the
+    property the degeneracy vertex ordering relies on.
+    """
     n = graph.num_vertices
     if n == 0:
-        return np.zeros(0, dtype=np.int64)
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
     degree = graph.degrees().astype(np.int64).copy()
     max_degree = int(degree.max()) if n else 0
     # Bucket sort vertices by current degree.
@@ -56,7 +68,19 @@ def core_numbers(graph: Graph) -> np.ndarray:
                     position[u], position[w] = pw, pu
                 bin_ptr[du] += 1
                 core[u] -= 1
-    return core
+    # Swaps only ever touch positions at or past the cursor, so the
+    # final array content *is* the processed sequence.
+    return core, order
+
+
+def core_numbers(graph: Graph) -> np.ndarray:
+    """Core number of every vertex (bucket-queue peeling, O(|E|))."""
+    return core_decomposition(graph)[0]
+
+
+def peeling_order(graph: Graph) -> np.ndarray:
+    """The degeneracy peel sequence: ``order[i]`` = vertex removed *i*-th."""
+    return core_decomposition(graph)[1]
 
 
 def degeneracy(graph: Graph) -> int:

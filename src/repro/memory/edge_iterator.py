@@ -29,6 +29,7 @@ _KERNEL_NAMES = {
     IntersectionKernel.HASH: "hash",
     IntersectionKernel.MERGE: "merge",
     IntersectionKernel.GALLOP: "gallop",
+    IntersectionKernel.ADAPTIVE: "adaptive",
 }
 
 

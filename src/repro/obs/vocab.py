@@ -93,6 +93,11 @@ METRIC_NAMES = frozenset({
     "exec.triangles",
     "exec.ops",
     "exec.chunks",
+    # adaptive-kernel selector decisions — additionally labelled by
+    # branch (merge/gallop/bitmap/disjoint/empty); per-branch ops sum
+    # exactly to the cell's exec.ops
+    "exec.branch.pairs",
+    "exec.branch.ops",
     # process-parallel engine (repro.parallel)
     "parallel.ops",
     "parallel.chunks",

@@ -449,6 +449,7 @@ def triangulate_parallel(
     *,
     workers: int = 2,
     chunks: int | None = None,
+    ordering: str | None = None,
     sink: TriangleSink | None = None,
     report: RunReport | None = None,
     trace: EventTracer | None = None,
@@ -471,6 +472,15 @@ def triangulate_parallel(
         Work-queue chunk count; defaults to
         :func:`repro.parallel.chunks.default_chunk_count` (4x
         oversubscription so idle workers have something to steal).
+    ordering:
+        Optional vertex relabeling applied before the run (an
+        :class:`~repro.graph.ordering.Ordering` name; ``"auto"``
+        resolves through
+        :func:`~repro.graph.ordering.choose_ordering`).  Emitted
+        triangle groups then carry the *relabeled* ids; the resolved
+        name lands in ``extra["ordering"]`` and the report meta.
+        ``None`` (default) runs the graph as given — callers that
+        already ordered their input keep byte-identical behavior.
     sink:
         Optional receiver of nested ``<u, v, {w...}>`` groups, emitted
         in deterministic chunk order; defaults to a counting sink.
@@ -512,6 +522,15 @@ def triangulate_parallel(
     """
     if workers < 1:
         raise ConfigurationError("workers must be >= 1")
+    resolved_ordering: str | None = None
+    if ordering is not None:
+        from repro.graph.ordering import Ordering, apply_ordering, choose_ordering
+
+        resolved = Ordering(ordering)
+        if resolved is Ordering.AUTO:
+            resolved = choose_ordering(graph)
+        graph, _ = apply_ordering(graph, resolved)
+        resolved_ordering = resolved.value
     if trace is not None and not trace.enabled:
         trace = None
     if trace is not None and trace.clock != "wall":
@@ -639,7 +658,11 @@ def triangulate_parallel(
         "steals": parallel_result.steals,
         "parallel": parallel_result,
     }
+    if resolved_ordering is not None:
+        extra["ordering"] = resolved_ordering
     if report is not None:
+        if resolved_ordering is not None:
+            report.meta.setdefault("parallel.ordering", resolved_ordering)
         report.gauge("parallel.workers").set(effective_workers)
         report.gauge("run.elapsed_wall").set(elapsed)
         extra["report"] = report

@@ -23,7 +23,11 @@ import numpy as np
 from repro.obs import MetricsRegistry
 
 __all__ = [
+    "ADAPTIVE_BITMAP_SKEW",
+    "ADAPTIVE_GALLOP_SKEW",
     "IntersectionKernel",
+    "adaptive_intersect",
+    "adaptive_intersect_detail",
     "gallop_intersect",
     "hash_intersect",
     "intersect_count_ops",
@@ -48,6 +52,7 @@ class IntersectionKernel(str, Enum):
     MERGE = "merge"
     HASH = "hash"
     GALLOP = "gallop"
+    ADAPTIVE = "adaptive"
 
 
 def intersect_count_ops(len_a: int, len_b: int) -> int:
@@ -141,10 +146,92 @@ def gallop_intersect(a: Sequence[int], b: Sequence[int]) -> tuple[list[int], int
     return result, ops
 
 
+#: Pruned ``|longer| / |shorter|`` skew at or above which per-element
+#: binary probing (galloping) beats a linear pass over the longer list.
+ADAPTIVE_GALLOP_SKEW = 16
+
+#: Lower edge of the mid-skew band the dense-mask path handles; below
+#: it the lists are comparable and the merge path wins.
+ADAPTIVE_BITMAP_SKEW = 4
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def adaptive_intersect_detail(
+    a: np.ndarray,
+    b: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> tuple[np.ndarray, int, str]:
+    """AOT-style adaptive intersection: ``(common, ops, branch)``.
+
+    Both lists are first *range-pruned* — each restricted to the other's
+    ``[min, max]`` span with two binary searches — and the pair is
+    charged the Eq. 3 min over the **pruned** lists: ``min(|a'|, |b'|)``,
+    or ``0`` when the spans are disjoint.  Pruning is why the adaptive
+    kernel's bill is ≤ the hash kernel's ``min(|a|, |b|)`` on every pair
+    and strictly below it whenever successor ranges only partially
+    overlap (the common case under locality-aware orderings).
+
+    The data path is then picked from the pruned skew ratio: ``gallop``
+    (vectorized ``searchsorted``) at or above
+    :data:`ADAPTIVE_GALLOP_SKEW`, the dense-mask ``bitmap`` path in the
+    :data:`ADAPTIVE_BITMAP_SKEW` band, ``merge`` (``np.intersect1d``)
+    for comparable lists; degenerate pairs short-circuit as ``empty`` /
+    ``disjoint``.  The branch never affects the charge — only ops/sec —
+    so op totals stay data-path independent.
+
+    *mask* is an optional reusable boolean scratch array covering every
+    vertex id (the engine binding owns one per graph); without it the
+    bitmap band allocates a throwaway mask sized to the pruned span.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if len(a) == 0 or len(b) == 0:
+        return _EMPTY, 0, "empty"
+    shorter, longer = (a, b) if len(a) <= len(b) else (b, a)
+    # Range-prune each side to the other's [min, max] span.
+    lo = int(np.searchsorted(longer, shorter[0], side="left"))
+    hi = int(np.searchsorted(longer, shorter[-1], side="right"))
+    longer = longer[lo:hi]
+    if len(longer) == 0:
+        return _EMPTY, 0, "disjoint"
+    lo = int(np.searchsorted(shorter, longer[0], side="left"))
+    hi = int(np.searchsorted(shorter, longer[-1], side="right"))
+    shorter = shorter[lo:hi]
+    if len(shorter) == 0:
+        return _EMPTY, 0, "disjoint"
+    if len(shorter) > len(longer):
+        shorter, longer = longer, shorter
+    ops = len(shorter)  # Eq. 3 min-charge over the pruned pair
+    ratio = len(longer) // len(shorter)
+    if ratio >= ADAPTIVE_GALLOP_SKEW:
+        positions = np.searchsorted(longer, shorter)
+        positions = np.minimum(positions, len(longer) - 1)
+        common = shorter[longer[positions] == shorter]
+        return common, ops, "gallop"
+    if ratio >= ADAPTIVE_BITMAP_SKEW:
+        scratch = mask
+        if scratch is None:
+            scratch = np.zeros(int(longer[-1]) + 1, dtype=bool)
+        scratch[longer] = True
+        common = shorter[scratch[shorter]]
+        scratch[longer] = False
+        return common, ops, "bitmap"
+    return np.intersect1d(shorter, longer, assume_unique=True), ops, "merge"
+
+
+def adaptive_intersect(a: Sequence[int], b: Sequence[int]) -> tuple[list[int], int]:
+    """Reference-kernel shape for the adaptive strategy: ``(result, ops)``."""
+    common, ops, _branch = adaptive_intersect_detail(
+        np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64))
+    return common.tolist(), ops
+
+
 _KERNELS = {
     IntersectionKernel.MERGE: merge_intersect,
     IntersectionKernel.HASH: hash_intersect,
     IntersectionKernel.GALLOP: gallop_intersect,
+    IntersectionKernel.ADAPTIVE: adaptive_intersect,
 }
 
 

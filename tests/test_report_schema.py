@@ -67,6 +67,29 @@ def test_parallel_baselines_are_seeded(checker, comparer, name):
     assert row["status"] == "ok" and row["ratio"] == 1.0
 
 
+#: Baselines for the kernel/ordering-ablation CI gate.  Their headline
+#: is the deterministic op-priced ``derived.elapsed_simulated`` (not
+#: wall time), so the >20% compare_reports threshold is a hard gate on
+#: op-count regressions regardless of runner speed.
+ABLATION_BASELINES = ("BENCH_ablation_kernels.json",
+                      "BENCH_ablation_ordering.json")
+
+
+@pytest.mark.parametrize("name", ABLATION_BASELINES)
+def test_ablation_baselines_are_seeded(checker, comparer, name):
+    """The committed ablation baselines validate, carry the op-priced
+    deterministic headline, and self-diff at ratio 1.0."""
+    path = BENCHMARKS_DIR / "results" / name
+    assert path.exists(), f"missing committed baseline {name}"
+    assert checker.validate_file(path) == []
+    payload = comparer.load_report(path)
+    headline = comparer.headline_elapsed(payload)
+    assert headline is not None, f"{name}: no headline elapsed metric"
+    assert headline[0] == "elapsed_simulated"
+    row = comparer.compare_payloads(payload, payload)
+    assert row["status"] == "ok" and row["ratio"] == 1.0
+
+
 def test_fresh_report_passes_the_checker(checker, tmp_path):
     report = RunReport("fresh")
     report.counter("ssd.pages_read").inc(3)

@@ -76,6 +76,57 @@ def _holme_kim_small() -> Graph:
     return generators.holme_kim(80, 4, 0.6, seed=3)
 
 
+def _star_of_cliques() -> Graph:
+    """A hub attached to one representative of each lopsided clique.
+
+    The hub's successor list spans the whole id range while each
+    clique's lists stay inside their contiguous block, so hub pairs
+    range-prune to nothing (the adaptive kernel's ``disjoint`` branch)
+    while in-clique pairs stay comparable (``merge``) — the shape where
+    a fixed kernel's ``min(|a|, |b|)`` charge is provably wasteful.
+    """
+    sizes = (3, 4, 5, 8, 12, 24)
+    edges = []
+    base = 1
+    for size in sizes:
+        edges.append((0, base))
+        for i in range(size):
+            for j in range(i + 1, size):
+                edges.append((base + i, base + j))
+        base += size
+    return from_edges(edges, num_vertices=base)
+
+
+def _hub_bipartite() -> Graph:
+    """Bipartite-ish hubs over leaf blocks with engineered skew bands.
+
+    Hub 0 owns a 96-leaf block; hub 1 samples every 8th leaf plus a far
+    block outside hub 0's span (so range pruning strictly beats the raw
+    ``min`` charge); hub 2 samples every 24th.  The hub-hub pairs land
+    one each in the adaptive kernel's ``bitmap`` (mid skew), ``gallop``
+    (extreme skew), and ``merge`` (comparable) bands; leaf pairs hit
+    ``empty``.
+    """
+    edges = [(0, 1), (0, 2), (1, 2)]
+    main = list(range(3, 99))
+    far = list(range(99, 105))
+    for leaf in main:
+        edges.append((0, leaf))
+    for leaf in main[::8] + far:
+        edges.append((1, leaf))
+    for leaf in main[::24]:
+        edges.append((2, leaf))
+    return from_edges(edges, num_vertices=105)
+
+
+def _rmat_heavy() -> Graph:
+    """A heavy-tailed R-MAT variant: quadrant weights pushed to (0.65,
+    0.15, 0.15, 0.05) concentrate edges on low ids, producing the degree
+    skew that exercises every adaptive-kernel branch on one member."""
+    return generators.rmat(96, 480, probabilities=(0.65, 0.15, 0.15, 0.05),
+                           seed=5)
+
+
 #: name -> zero-argument deterministic builder.
 ZOO = {
     "empty": _empty,
@@ -87,7 +138,15 @@ ZOO = {
     "figure1": _figure1,
     "rmat-small": _rmat_small,
     "holme-kim-small": _holme_kim_small,
+    "star-of-cliques": _star_of_cliques,
+    "hub-bipartite": _hub_bipartite,
+    "rmat-heavy": _rmat_heavy,
 }
+
+#: The degree-skew stress members: every adaptive-kernel branch fires
+#: across (and on ``rmat-heavy``, within) these, and the adaptive op
+#: bill is strictly below every fixed kernel's on each one.
+SKEW_MEMBERS = ("star-of-cliques", "hub-bipartite", "rmat-heavy")
 
 #: Members whose triangle count is known by construction, for harness
 #: self-checks (the oracle must reproduce these exactly).
@@ -99,6 +158,8 @@ KNOWN_COUNTS = {
     "two-cliques": 20,   # 2 * C(5, 3)
     "dup-edges": 1,
     "figure1": 5,
+    "star-of-cliques": 2315,  # sum C(c, 3) over cliques (3,4,5,8,12,24)
+    "hub-bipartite": 21,      # hub triangle + per-hub leaf closures
 }
 
 
@@ -109,6 +170,8 @@ SEEDED = {
     "rmat-small": lambda seed: generators.rmat(128, 600, seed=11 + seed),
     "holme-kim-small": lambda seed: generators.holme_kim(80, 4, 0.6,
                                                          seed=3 + seed),
+    "rmat-heavy": lambda seed: generators.rmat(
+        96, 480, probabilities=(0.65, 0.15, 0.15, 0.05), seed=5 + seed),
 }
 
 
